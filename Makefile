@@ -1,0 +1,31 @@
+# Convenience targets for the MPF reproduction.
+
+PY ?= python
+
+.PHONY: install test bench shapes figures figures-quick clean
+
+install:
+	pip install -e '.[dev]' || pip install -e '.[dev]' --no-build-isolation
+
+test:
+	$(PY) -m pytest tests/ -q
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only -q
+
+shapes:
+	$(PY) -m pytest benchmarks/ --benchmark-disable -q
+
+figures:
+	$(PY) -m repro.bench all --json figures_full.json | tee figures_full.txt
+
+figures-quick:
+	$(PY) -m repro.bench all --quick --plot
+
+compare:
+	$(PY) -m repro.bench all --json /tmp/mpf_after.json >/dev/null && \
+	$(PY) -m repro.bench.compare figures_full.json /tmp/mpf_after.json
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache \
+	       $(shell find . -name __pycache__ -type d 2>/dev/null)

@@ -1,0 +1,15 @@
+"""Benchmark-suite configuration.
+
+Each file regenerates one paper figure: it benchmarks (wall-clock) the
+simulation of a representative point and asserts the *shape* of the
+simulated series against the paper's qualitative claims.  Full sweeps:
+``python -m repro.bench all``.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "figure(name): marks a benchmark as regenerating a paper figure"
+    )

@@ -1,0 +1,55 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out."""
+
+import pytest
+
+from repro.bench.figures import (
+    ablation_block,
+    ablation_o2o,
+    ablation_paging,
+    ablation_sync,
+)
+
+
+def _series(result, label):
+    for s in result.series:
+        if s.label.startswith(label):
+            return s
+    raise AssertionError(f"no series {label!r} in {result.figure}")
+
+
+@pytest.mark.figure("ablation_sync")
+def test_ablation_sync(benchmark):
+    result = benchmark.pedantic(ablation_sync, args=(True,), rounds=1, iterations=1)
+    lnvc = _series(result, "LNVC")
+    sync = _series(result, "sync")
+    # Direct transfer wins at every length, and the gap widens: the
+    # per-block costs the paper's §5 predicts synchronous passing removes.
+    ratios = [a / b for a, b in zip(lnvc.ys(), sync.ys())]
+    assert all(r > 2 for r in ratios)
+    assert ratios[-1] > ratios[0]
+
+
+@pytest.mark.figure("ablation_o2o")
+def test_ablation_o2o(benchmark):
+    result = benchmark.pedantic(ablation_o2o, args=(True,), rounds=1, iterations=1)
+    lnvc = _series(result, "LNVC")
+    ring = _series(result, "O2O")
+    assert all(a > 5 * b for a, b in zip(lnvc.ys(), ring.ys()))
+
+
+@pytest.mark.figure("ablation_block")
+def test_ablation_block(benchmark):
+    result = benchmark.pedantic(ablation_block, args=(True,), rounds=1, iterations=1)
+    ys = result.series[0].ys()
+    assert ys == sorted(ys), "bigger blocks must raise bulk throughput"
+    assert ys[-1] > 2 * ys[0]
+
+
+@pytest.mark.figure("ablation_paging")
+def test_ablation_paging(benchmark):
+    result = benchmark.pedantic(ablation_paging, args=(True,), rounds=1, iterations=1)
+    on = _series(result, "paging on")
+    off = _series(result, "paging off")
+    # Identical at low process counts, divergent at 20.
+    assert on.ys()[0] == pytest.approx(off.ys()[0])
+    assert on.ys()[-1] < 0.8 * off.ys()[-1]

@@ -1,0 +1,35 @@
+"""Figure 3 — base benchmark: loop-back throughput vs message length."""
+
+import pytest
+
+from repro.bench.workloads import base_throughput
+
+
+@pytest.mark.figure("fig3")
+def test_fig3_point_1024B(benchmark):
+    """Benchmark the simulator on the paper's headline base point."""
+    m = benchmark(base_throughput, 1024, 32)
+    # The paper's curve passes ~18-23 KB/s at 1 KiB messages.
+    assert 15_000 < m.throughput < 30_000
+
+
+@pytest.mark.figure("fig3")
+def test_fig3_shape():
+    """Throughput rises with message length toward an asymptote."""
+    ys = [base_throughput(L, messages=32).throughput
+          for L in (16, 128, 512, 2048)]
+    assert ys == sorted(ys), "throughput must rise with message length"
+    # Diminishing returns: the last doubling gains far less than the first.
+    assert (ys[1] - ys[0]) > (ys[3] - ys[2])
+    # Asymptote in the paper's band.
+    assert 20_000 < ys[-1] < 30_000
+
+
+@pytest.mark.figure("fig3")
+def test_fig3_copy_bound_at_large_messages():
+    """Paper: "message copying costs dominate; memory bandwidth is the
+    performance limiting factor" — fixed costs stop mattering."""
+    m1 = base_throughput(1024, messages=32)
+    m2 = base_throughput(2048, messages=32)
+    # Less than 15% gain from doubling an already-large message.
+    assert m2.throughput < 1.15 * m1.throughput

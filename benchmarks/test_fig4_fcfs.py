@@ -1,0 +1,42 @@
+"""Figure 4 — fcfs benchmark: 1 sender, N FCFS receivers."""
+
+import pytest
+
+from repro.bench.workloads import fcfs_throughput
+
+
+@pytest.mark.figure("fig4")
+def test_fig4_point_16rx_1024B(benchmark):
+    m = benchmark.pedantic(
+        fcfs_throughput, args=(16, 1024), kwargs=dict(messages=48),
+        rounds=3, iterations=1,
+    )
+    # Sender-bound plateau: the paper sits around 40-50 KB/s.
+    assert 25_000 < m.throughput < 60_000
+
+
+@pytest.mark.figure("fig4")
+def test_fig4_large_messages_roughly_flat():
+    """1024B throughput is sender-limited: adding receivers changes
+    little ("contention is masked by message copying costs")."""
+    t1 = fcfs_throughput(1, 1024, messages=48).throughput
+    t16 = fcfs_throughput(16, 1024, messages=48).throughput
+    assert t16 > 0.6 * t1
+
+
+@pytest.mark.figure("fig4")
+def test_fig4_small_messages_decline_with_receivers():
+    """Paper: "decreasing throughputs for 16-byte and 128-byte messages
+    are caused by increased LNVC contention"."""
+    for length in (16, 128):
+        t1 = fcfs_throughput(1, length, messages=48).throughput
+        t16 = fcfs_throughput(16, length, messages=48).throughput
+        assert t16 < t1, f"{length}B should decline with 16 receivers"
+
+
+@pytest.mark.figure("fig4")
+def test_fig4_larger_messages_higher_throughput():
+    """"The benefit of larger messages is evident"."""
+    n = 8
+    ts = [fcfs_throughput(n, L, messages=48).throughput for L in (16, 128, 1024)]
+    assert ts == sorted(ts)

@@ -1,0 +1,46 @@
+"""Figure 5 — broadcast benchmark: 1 sender, N BROADCAST receivers."""
+
+import pytest
+
+from repro.bench.workloads import broadcast_throughput, fcfs_throughput
+
+
+@pytest.mark.figure("fig5")
+def test_fig5_point_16rx_1024B(benchmark):
+    m = benchmark.pedantic(
+        broadcast_throughput, args=(16, 1024), kwargs=dict(messages=48),
+        rounds=3, iterations=1,
+    )
+    # The paper's headline number: 687,245 B/s; shape band +/- 35%.
+    assert 450_000 < m.throughput < 900_000
+
+
+@pytest.mark.figure("fig5")
+def test_fig5_scales_with_receivers():
+    """Effective throughput grows near-linearly: receivers copy
+    concurrently."""
+    t1 = broadcast_throughput(1, 1024, messages=48).throughput
+    t8 = broadcast_throughput(8, 1024, messages=48).throughput
+    t16 = broadcast_throughput(16, 1024, messages=48).throughput
+    assert t8 > 5 * t1
+    assert t16 > 1.5 * t8
+
+
+@pytest.mark.figure("fig5")
+def test_fig5_broadcast_beats_fcfs_fanout():
+    """At equal configuration the broadcast LNVC delivers many times
+    the fcfs LNVC's bytes (every receiver gets a copy)."""
+    n, length = 8, 1024
+    bc = broadcast_throughput(n, length, messages=48).throughput
+    fc = fcfs_throughput(n, length, messages=48).throughput
+    assert bc > 4 * fc
+
+
+@pytest.mark.figure("fig5")
+def test_fig5_sublinear_for_small_messages():
+    """Paper: "message throughput is sub-linear with the number of
+    processes when the message length is small; contention is again the
+    reason"."""
+    t1 = broadcast_throughput(1, 16, messages=48).throughput
+    t16 = broadcast_throughput(16, 16, messages=48).throughput
+    assert t16 < 14 * t1

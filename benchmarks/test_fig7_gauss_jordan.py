@@ -1,0 +1,35 @@
+"""Figure 7 — Gauss-Jordan with partial pivoting: speedup vs processes."""
+
+import pytest
+
+from repro.apps.gauss_jordan import gj_speedup
+
+
+@pytest.mark.figure("fig7")
+def test_fig7_point_96x96_8p(benchmark):
+    s = benchmark.pedantic(gj_speedup, args=(96, 8), rounds=1, iterations=1)
+    # "real speedups can be obtained in the MPF environment."
+    assert s > 2.5
+
+
+@pytest.mark.figure("fig7")
+def test_fig7_larger_matrices_speed_up_better():
+    """"Speedup is greater with larger matrices"."""
+    sizes = (32, 48, 96)
+    speedups = [gj_speedup(n, 8) for n in sizes]
+    assert speedups == sorted(speedups)
+
+
+@pytest.mark.figure("fig7")
+def test_fig7_small_matrix_declines_with_excess_parallelism():
+    """"In the extreme, excessive parallelization yields insufficient
+    computation per iteration, and speedup declines"."""
+    assert gj_speedup(32, 16) < gj_speedup(32, 4)
+
+
+@pytest.mark.figure("fig7")
+def test_fig7_large_matrix_uses_more_processors():
+    """"Larger matrices permit effective use of more processors"."""
+    gain_small = gj_speedup(32, 8) / gj_speedup(32, 2)
+    gain_large = gj_speedup(96, 8) / gj_speedup(96, 2)
+    assert gain_large > gain_small

@@ -1,0 +1,42 @@
+"""Figure 8 — SOR Poisson solver: per-iteration speedup vs dimension."""
+
+import pytest
+
+from repro.apps.sor import sor_per_iteration_speedup
+
+
+@pytest.mark.figure("fig8")
+def test_fig8_point_65x65_N4(benchmark):
+    s = benchmark.pedantic(
+        sor_per_iteration_speedup, args=(65, 4),
+        kwargs=dict(iterations=4), rounds=1, iterations=1,
+    )
+    # Largest grid gains clearly over the 4-process baseline.
+    assert s > 1.5
+
+
+@pytest.mark.figure("fig8")
+def test_fig8_baseline_is_unity():
+    assert sor_per_iteration_speedup(33, 2, iterations=4) == pytest.approx(1.0)
+
+
+@pytest.mark.figure("fig8")
+def test_fig8_larger_grids_gain_more():
+    """Area/perimeter: computation grows with subgrid area, halo
+    communication with its perimeter, so large grids keep winning."""
+    s33 = sor_per_iteration_speedup(33, 4, iterations=4)
+    s65 = sor_per_iteration_speedup(65, 4, iterations=4)
+    assert s65 > s33
+
+
+@pytest.mark.figure("fig8")
+def test_fig8_smallest_grid_loses():
+    """The 9x9 problem has so little compute per subgrid that more
+    processors hurt — the paper's bottom curve."""
+    assert sor_per_iteration_speedup(9, 4, iterations=4) < 1.0
+
+
+@pytest.mark.figure("fig8")
+def test_fig8_monotone_in_N_for_65():
+    s = [sor_per_iteration_speedup(65, n, iterations=4) for n in (2, 3, 4)]
+    assert s == sorted(s)

@@ -1,0 +1,33 @@
+"""Study P — message passing vs shared memory (the §5 research issue)."""
+
+import pytest
+
+from repro.apps.paradigm import paradigm_penalty
+from repro.bench.figures import study_paradigm
+
+
+@pytest.mark.figure("study_paradigm")
+def test_study_point_jacobi_4p(benchmark):
+    mp_t, shm_t, penalty = benchmark.pedantic(
+        paradigm_penalty, args=("jacobi", 128, 4), rounds=1, iterations=1
+    )
+    assert mp_t > shm_t > 0
+    assert penalty > 1.0
+
+
+@pytest.mark.figure("study_paradigm")
+def test_study_penalty_always_above_one():
+    """On a shared-memory machine the native paradigm never loses on
+    these fine-grained kernels — the paper's premise."""
+    result = study_paradigm(True)
+    for series in result.series:
+        assert all(p.y > 1.0 for p in series.points), series.label
+
+
+@pytest.mark.figure("study_paradigm")
+def test_study_sum_penalty_grows_with_processes():
+    """The allreduce costs more circuits and messages as P grows, while
+    the shared accumulator adds only barrier arrivals."""
+    _, _, p2 = paradigm_penalty("sum", 128, 2)
+    _, _, p8 = paradigm_penalty("sum", 128, 8)
+    assert p8 > p2

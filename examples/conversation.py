@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""The conversation model of paper §1, literally.
+
+    "Conversations, by analogy with everyday life, include dialogue,
+    group discussions, and lectures."
+
+Three acts on the simulated machine:
+
+* a *dialogue* — two participants on a pair of circuits,
+* a *group discussion* — everyone broadcasts to everyone, and
+  participants join and leave mid-conversation,
+* a *lecture* — one speaker, many BROADCAST listeners, with a
+  latecomer who (faithfully to the model) only hears what is said
+  after they join.
+
+Run:  python examples/conversation.py
+"""
+
+from repro import BROADCAST, FCFS, SimRuntime
+
+
+def dialogue() -> None:
+    print("== dialogue ==")
+
+    def alice(env):
+        out = yield from env.open_send("to-bob")
+        inn = yield from env.open_receive("to-alice", FCFS)
+        yield from env.message_send(out, b"shall we trade sonnets?")
+        reply = yield from env.message_receive(inn)
+        print(f"  alice heard: {reply.decode()}")
+        yield from env.close_send(out)
+        yield from env.close_receive(inn)
+
+    def bob(env):
+        inn = yield from env.open_receive("to-bob", FCFS)
+        heard = yield from env.message_receive(inn)
+        print(f"  bob heard:   {heard.decode()}")
+        out = yield from env.open_send("to-alice")
+        yield from env.message_send(out, b"gladly; you first.")
+        yield from env.close_send(out)
+        yield from env.close_receive(inn)
+
+    SimRuntime().run([alice, bob], names=["alice", "bob"])
+
+
+def group_discussion() -> None:
+    print("== group discussion ==")
+    n = 3
+
+    def member(env):
+        # Everyone is both a sender and a BROADCAST receiver on one
+        # circuit — bi-directional many-to-many, paper §1.
+        inn = yield from env.open_receive("roundtable", BROADCAST)
+        out = yield from env.open_send("roundtable")
+        rsvp = yield from env.open_send("rsvp")
+        yield from env.message_send(rsvp, b"here")
+        yield from env.close_send(rsvp)
+        if env.rank == 0:  # chair waits for everyone, then opens debate
+            seats = yield from env.open_receive("rsvp", FCFS)
+            for _ in range(n):
+                yield from env.message_receive(seats)
+            yield from env.close_receive(seats)
+            yield from env.message_send(out, b"chair: the floor is open")
+        opener = yield from env.message_receive(inn)
+        yield from env.message_send(
+            out, f"speaker {env.rank}: point {env.rank}!".encode()
+        )
+        heard = [opener]
+        for _ in range(n):
+            heard.append((yield from env.message_receive(inn)))
+        yield from env.close_send(out)
+        yield from env.close_receive(inn)
+        return [h.decode() for h in heard]
+
+    result = SimRuntime().run([member] * n)
+    for name in sorted(result.results):
+        print(f"  {name} heard {len(result.results[name])} remarks, "
+              f"same order as everyone else")
+    transcripts = list(result.results.values())
+    assert all(t == transcripts[0] for t in transcripts)
+    print(f"  shared transcript: {transcripts[0]}")
+
+
+def lecture() -> None:
+    print("== lecture ==")
+    slides = [b"I. motivation", b"II. the LNVC model", b"III. results"]
+
+    def lecturer(env):
+        podium = yield from env.open_send("lecture")
+        seats = yield from env.open_receive("attendance", FCFS)
+        for _ in range(2):  # two punctual students
+            yield from env.message_receive(seats)
+        for slide in slides[:2]:
+            yield from env.message_send(podium, slide)
+        # The latecomer arrives mid-lecture...
+        yield from env.message_receive(seats)
+        yield from env.message_send(podium, slides[2])
+        yield from env.close_send(podium)
+        yield from env.close_receive(seats)
+
+    def student(env, late):
+        if late:
+            yield from env.compute(flops=50_000)  # overslept
+        ear = yield from env.open_receive("lecture", BROADCAST)
+        hand = yield from env.open_send("attendance")
+        yield from env.message_send(hand, b"present")
+        expect = 1 if late else 3
+        notes = []
+        for _ in range(expect):
+            notes.append((yield from env.message_receive(ear)))
+        yield from env.close_send(hand)
+        yield from env.close_receive(ear)
+        return [x.decode() for x in notes]
+
+    def punctual(env):
+        return (yield from student(env, late=False))
+
+    def latecomer(env):
+        return (yield from student(env, late=True))
+
+    result = SimRuntime().run(
+        [lecturer, punctual, punctual, latecomer],
+        names=["prof", "ann", "ben", "zoe"],
+    )
+    print(f"  ann's notes: {result.results['ann']}")
+    print(f"  zoe (late) only got: {result.results['zoe']}")
+
+
+if __name__ == "__main__":
+    dialogue()
+    print()
+    group_discussion()
+    print()
+    lecture()

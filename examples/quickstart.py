@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Quickstart: the MPF primitives on two runtimes.
+
+Part 1 drives the blocking API (closest to the paper's C interface)
+from plain threads; part 2 runs the identical logic as coroutines on
+the simulated Sequent Balance 21000 and reports *simulated* time.
+
+Run:  python examples/quickstart.py
+"""
+
+import threading
+
+from repro import BROADCAST, FCFS, MPFConfig, MPFSystem, SimRuntime
+
+
+def blocking_api_demo() -> None:
+    """Producer/consumer/observer over one conversation, real threads."""
+    print("== Part 1: blocking API on threads ==")
+    system = MPFSystem(MPFConfig(max_lnvcs=8, max_processes=4))
+    ready = threading.Barrier(4, timeout=30)
+
+    def producer():
+        mpf = system.client(0)
+        cid = mpf.open_send("orders")
+        ready.wait()  # everyone is connected before we speak
+        for i in range(6):
+            mpf.message_send(cid, f"order #{i}".encode())
+        mpf.close_send(cid)
+
+    def consumer(pid):
+        # FCFS: the two consumers split the order stream between them.
+        mpf = system.client(pid)
+        cid = mpf.open_receive("orders", FCFS)
+        ready.wait()
+        got = []
+        for _ in range(3):
+            got.append(mpf.message_receive(cid).decode())
+        print(f"  consumer {pid} handled: {got}")
+        mpf.close_receive(cid)
+
+    def observer():
+        # BROADCAST: the observer sees *every* order.
+        mpf = system.client(3)
+        cid = mpf.open_receive("orders", BROADCAST)
+        ready.wait()
+        seen = [mpf.message_receive(cid).decode() for _ in range(6)]
+        print(f"  observer saw all {len(seen)} orders, in order")
+        mpf.close_receive(cid)
+
+    threads = [
+        threading.Thread(target=producer),
+        threading.Thread(target=consumer, args=(1,)),
+        threading.Thread(target=consumer, args=(2,)),
+        threading.Thread(target=observer),
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+def simulator_demo() -> None:
+    """The same pattern as coroutines on the simulated Balance 21000."""
+    print("== Part 2: coroutine API on the simulated Balance 21000 ==")
+
+    def producer(env):
+        cid = yield from env.open_send("orders")
+        rid = yield from env.open_receive("hello", FCFS)
+        for _ in range(3):  # wait for all three receivers to join
+            yield from env.message_receive(rid)
+        for i in range(6):
+            yield from env.message_send(cid, f"order #{i}".encode())
+        yield from env.close_send(cid)
+        yield from env.close_receive(rid)
+        return "done"
+
+    def make_receiver(protocol, count):
+        def receiver(env):
+            cid = yield from env.open_receive("orders", protocol)
+            hello = yield from env.open_send("hello")
+            yield from env.message_send(hello, b"hi")
+            yield from env.close_send(hello)
+            got = []
+            for _ in range(count):
+                got.append((yield from env.message_receive(cid)).decode())
+            yield from env.close_receive(cid)
+            return got
+
+        return receiver
+
+    result = SimRuntime().run(
+        [
+            producer,
+            make_receiver(FCFS, 3),
+            make_receiver(FCFS, 3),
+            make_receiver(BROADCAST, 6),
+        ],
+        names=["producer", "worker-a", "worker-b", "observer"],
+    )
+    for name in ("worker-a", "worker-b", "observer"):
+        print(f"  {name}: {result.results[name]}")
+    print(f"  simulated time on the Balance 21000: {result.elapsed * 1e3:.2f} ms")
+    print(f"  lock acquisitions: {result.report.lock_acquires}, "
+          f"messages: {result.header['total_sends']}")
+
+
+if __name__ == "__main__":
+    blocking_api_demo()
+    print()
+    simulator_demo()

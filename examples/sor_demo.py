@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Parallel SOR Poisson solver (the paper's Figure 8 workload).
+
+Solves -∇²u = 2π²·sin(πx)·sin(πy) on the unit square with an N×N grid
+of worker processes plus a convergence monitor, all talking over MPF
+circuits: FCFS circuits for the halo exchanges ("interprocess
+communication among neighbors corresponds naturally to FCFS LNVC's")
+and a BROADCAST circuit for the monitor's verdicts.
+
+Run:  python examples/sor_demo.py [grid]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.apps.sor import poisson_reference, sor_parallel, sor_sequential
+
+
+def main() -> None:
+    m = int(sys.argv[1]) if len(sys.argv) > 1 else 33
+    exact = poisson_reference(m)
+    seq = sor_sequential(m, tol=1e-6)
+    print(f"Poisson problem on a {m}x{m} grid "
+          f"(sequential: {seq.iterations} SOR iterations)\n")
+    print(f"{'procs':>6} {'iters':>6} {'sim s/iter':>11} "
+          f"{'max err vs analytic':>20} {'== sequential':>14}")
+    for n in (1, 2, 3):
+        if (m - 2) < n * n:
+            continue
+        res = sor_parallel(m, n, tol=1e-6)
+        err = float(np.max(np.abs(res.u - exact)))
+        same = np.allclose(res.u, seq.u, atol=1e-10)
+        print(
+            f"{n * n:>6} {res.iterations:>6} "
+            f"{res.elapsed / res.iterations:>11.4f} {err:>20.2e} "
+            f"{'yes' if same else 'NO':>14}"
+        )
+        if not same:
+            raise SystemExit("distributed iterates diverged — this is a bug")
+    print(
+        "\nComputation scales with subgrid area, halo traffic with its "
+        "perimeter:\nbigger grids keep more processors busy (the paper's "
+        "Figure 8)."
+    )
+
+
+if __name__ == "__main__":
+    main()

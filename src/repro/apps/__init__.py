@@ -1,0 +1,37 @@
+"""Evaluation applications (paper §4, Figures 7 and 8).
+
+* :mod:`~repro.apps.gauss_jordan` — message-based parallel Gauss–Jordan
+  elimination with partial pivoting (arbiter + pivot-row broadcast),
+* :mod:`~repro.apps.sor` — successive over-relaxation Poisson solver on
+  an N×N process grid with halo exchange and a convergence monitor,
+* :mod:`~repro.apps.sorting` — odd-even transposition sort on a line of
+  processes (a §5-style message-passing prototype workload).
+"""
+
+from .gauss_jordan import (
+    gauss_jordan_parallel,
+    gauss_jordan_sequential,
+    gj_sequential_sim_time,
+    gj_speedup,
+)
+from .sor import (
+    poisson_reference,
+    sor_parallel,
+    sor_sequential,
+    sor_per_iteration_speedup,
+)
+from .sorting import make_keys, odd_even_sort_parallel, sort_speedup
+
+__all__ = [
+    "gauss_jordan_parallel",
+    "gauss_jordan_sequential",
+    "gj_sequential_sim_time",
+    "gj_speedup",
+    "poisson_reference",
+    "sor_parallel",
+    "sor_sequential",
+    "sor_per_iteration_speedup",
+    "make_keys",
+    "odd_even_sort_parallel",
+    "sort_speedup",
+]

@@ -1,0 +1,328 @@
+"""Message-based parallel Gauss–Jordan elimination (paper §4, Figure 7).
+
+The paper's description, reproduced exactly:
+
+    "The parallel implementation of this algorithm partitions the matrix
+    A into equal sized groups of contiguous rows; each partition is
+    assigned to a process.  Each process searches for the maximum element
+    in the current column, and sends this value to an arbiter process.
+    The arbiter process identifies the maximum of the maxima, and advises
+    the process holding this value.  The identified process broadcasts
+    the selected pivot row to all other processes.  The processes then
+    sweep the rows of their partition using this pivot row and begin a
+    new iteration."
+
+Process layout: rank 0 is the dedicated arbiter; ranks ``1..P`` hold the
+row partitions.  Three kinds of circuit:
+
+* ``gj.max`` — FCFS, workers → arbiter: the local column maxima.
+* ``gj.advise.<w>`` — FCFS, arbiter → the winning worker only.
+* ``gj.pivot`` — BROADCAST, winner → all workers (including itself): the
+  normalized pivot row.
+
+Because only the winner receives an advise, a worker cannot know in
+advance whether to wait on its advise circuit or on the pivot broadcast.
+MPF has no ``select``; the paper's interface offers ``check_receive``
+for exactly this, so workers poll both circuits — the one place in the
+evaluation suite that exercises the non-blocking primitive in anger.
+
+Numerics run for real (each worker owns a NumPy slab of the matrix) and
+the solution is checked against ``numpy.linalg.solve`` in the tests, so
+the simulated timing and the arithmetic cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.costmodel import Costs, DEFAULT_COSTS
+from ..core.layout import MPFConfig
+from ..core.protocol import BROADCAST, FCFS
+from ..machine.balance import BALANCE_21000, MachineConfig
+from ..patterns import barrier, gather, select_receive
+from ..runtime.base import Env
+from ..runtime.sim import SimRuntime
+
+__all__ = [
+    "GJResult",
+    "gauss_jordan_sequential",
+    "gauss_jordan_parallel",
+    "gj_sequential_sim_time",
+    "gj_speedup",
+    "make_system",
+]
+
+_MAX = struct.Struct("<dI")  # (local max abs value, global row index)
+_SEL = struct.Struct("<I")   # selected pivot row index
+_HDR = struct.Struct("<II")  # (iteration k, pivot row index)
+
+
+def make_system(n: int, seed: int = 7) -> tuple[np.ndarray, np.ndarray]:
+    """A well-conditioned random test system ``A x = b``.
+
+    Diagonal dominance keeps partial pivoting honest but solvable for
+    every size the paper sweeps (32–96).
+    """
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-1.0, 1.0, size=(n, n))
+    a += np.diag(np.sign(a.diagonal()) * n)
+    x = rng.uniform(-1.0, 1.0, size=n)
+    return a, a @ x
+
+
+def _partition(n: int, p: int, w: int) -> tuple[int, int]:
+    """Rows [lo, hi) owned by worker ``w`` of ``p`` (contiguous blocks)."""
+    base, rem = divmod(n, p)
+    lo = w * base + min(w, rem)
+    return lo, lo + base + (1 if w < rem else 0)
+
+
+def gauss_jordan_sequential(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Plain sequential Gauss–Jordan with partial pivoting.
+
+    The correctness baseline: converts ``A x = b`` to ``A' x = b'`` with
+    ``A'`` the identity (the paper's "equivalent linear system A'x = b'
+    where A' is diagonal").
+    """
+    a = a.astype(float).copy()
+    b = b.astype(float).copy()
+    n = len(b)
+    used = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=int)
+    for k in range(n):
+        candidates = np.flatnonzero(~used)
+        r = candidates[np.argmax(np.abs(a[candidates, k]))]
+        used[r] = True
+        order[k] = r
+        piv = a[r, k]
+        if piv == 0.0:
+            raise np.linalg.LinAlgError("singular matrix")
+        a[r, k:] /= piv
+        b[r] /= piv
+        rows = np.flatnonzero(np.arange(n) != r)
+        factors = a[rows, k].copy()
+        a[rows, k:] -= np.outer(factors, a[r, k:])
+        b[rows] -= factors * b[r]
+    x = np.empty(n)
+    for k in range(n):
+        x[k] = b[order[k]]
+    return x
+
+
+def _seq_flops(n: int) -> list[int]:
+    """Per-iteration flop counts of the sequential algorithm.
+
+    Iteration ``k``: pivot scan over ``n - k`` candidates, pivot-row
+    normalization over ``n - k + 1`` elements, and elimination of the
+    remaining ``n - 1`` rows over ``n - k + 1`` columns at 2 flops each.
+    The identical formula is charged by the parallel workers for their
+    shares, so measured speedup isolates communication and imbalance.
+    """
+    return [
+        (n - k) + (n - k + 1) + (n - 1) * (n - k + 1) * 2
+        for k in range(n)
+    ]
+
+
+def gj_sequential_sim_time(
+    n: int,
+    machine: MachineConfig = BALANCE_21000,
+    costs: Costs = DEFAULT_COSTS,
+) -> float:
+    """Simulated seconds for the sequential solver on the Balance 21000."""
+
+    def worker(env: Env):
+        t0 = env.now()
+        for flops in _seq_flops(n):
+            yield from env.compute(flops=flops)
+        return env.now() - t0
+
+    result = SimRuntime(machine=machine).run(
+        [worker], cfg=MPFConfig(max_lnvcs=2, max_processes=1), costs=costs
+    )
+    return result.results["p0"]
+
+
+@dataclass(frozen=True)
+class GJResult:
+    """Outcome of one parallel Gauss–Jordan run."""
+
+    #: The solution vector.
+    x: np.ndarray
+    #: Simulated (or wall) seconds of the solve phase.
+    elapsed: float
+    #: Worker count (excluding the arbiter).
+    p: int
+    n: int
+
+
+def _arbiter(env: Env, n: int, p: int):
+    """Rank 0: collect local maxima, advise the winner each iteration."""
+    max_id = yield from env.open_receive("gj.max", FCFS)
+    advise = {}
+    for w in range(1, p + 1):
+        advise[w] = yield from env.open_send(f"gj.advise.{w}")
+    yield from barrier(env, "gj.start", p + 1)
+    for _ in range(n):
+        best_val, best_row = -1.0, -1
+        for _ in range(p):
+            val, row = _MAX.unpack((yield from env.message_receive(max_id)))
+            # Deterministic tie-break: larger magnitude, then lower row.
+            if val > best_val or (val == best_val and row < best_row):
+                best_val, best_row = val, row
+        yield from env.compute(flops=p)
+        winner = 1 + _owner(n, p, best_row)
+        yield from env.message_send(advise[winner], _SEL.pack(best_row))
+    yield from barrier(env, "gj.end", p + 1)
+    for cid in advise.values():
+        yield from env.close_send(cid)
+    yield from env.close_receive(max_id)
+    return None
+
+
+def _owner(n: int, p: int, row: int) -> int:
+    for w in range(p):
+        lo, hi = _partition(n, p, w)
+        if lo <= row < hi:
+            return w
+    raise ValueError(f"row {row} outside matrix of {n}")
+
+
+def _worker(env: Env, n: int, p: int, a_all: np.ndarray, b_all: np.ndarray):
+    """Ranks 1..P: own a row block; pivot, broadcast, sweep."""
+    w = env.rank - 1
+    lo, hi = _partition(n, p, w)
+    a = a_all[lo:hi].astype(float).copy()
+    b = b_all[lo:hi].astype(float).copy()
+    rows = hi - lo
+    used = np.zeros(rows, dtype=bool)
+
+    max_out = yield from env.open_send("gj.max")
+    advise_in = yield from env.open_receive(f"gj.advise.{env.rank}", FCFS)
+    pivot_in = yield from env.open_receive("gj.pivot", BROADCAST)
+    pivot_out = yield from env.open_send("gj.pivot")
+    yield from barrier(env, "gj.start", p + 1)
+    t0 = env.now()
+
+    for k in range(n):
+        # 1. Local pivot search over not-yet-used rows of this partition.
+        free = np.flatnonzero(~used)
+        if len(free):
+            i = free[np.argmax(np.abs(a[free, k]))]
+            val, row = abs(float(a[i, k])), lo + int(i)
+        else:
+            val, row = -1.0, 0
+        yield from env.compute(flops=max(1, len(free)))
+        yield from env.message_send(max_out, _MAX.pack(val, row))
+
+        # 2. Await either an advise (we won) or the pivot broadcast.  MPF
+        #    has no select; poll both circuits with check_receive as the
+        #    paper intends (select_receive codifies the idiom — safe
+        #    here because the advise circuit has one receiver and the
+        #    pivot circuit is BROADCAST).
+        payload = None
+        while payload is None:
+            which, msg = yield from select_receive(
+                env, (advise_in, pivot_in), backoff_instrs=400
+            )
+            if which == advise_in:
+                sel = _SEL.unpack(msg)[0]
+                i = sel - lo
+                piv = a[i, k]
+                a[i, k:] /= piv
+                b[i] /= piv
+                used[i] = True
+                yield from env.compute(flops=(n - k + 1))
+                row = _HDR.pack(k, sel) + a[i, k:].tobytes() + b[i : i + 1].tobytes()
+                yield from env.message_send(pivot_out, row)
+            else:
+                payload = msg
+
+        # 3. Sweep this partition's other rows with the pivot row.
+        kk, sel = _HDR.unpack_from(payload)
+        assert kk == k
+        body = np.frombuffer(payload, dtype=float, offset=_HDR.size)
+        prow, pb = body[:-1], body[-1]
+        mask = np.arange(lo, hi) != sel
+        if mask.any():
+            factors = a[mask, k].copy()
+            a[mask, k:] -= np.outer(factors, prow)
+            b[mask] -= factors * pb
+        yield from env.compute(flops=int(mask.sum()) * (n - k + 1) * 2)
+
+    elapsed = env.now() - t0
+    yield from barrier(env, "gj.end", p + 1)
+    yield from env.close_send(max_out)
+    yield from env.close_receive(advise_in)
+    yield from env.close_send(pivot_out)
+    yield from env.close_receive(pivot_in)
+
+    # Diagonal system: each row i now reads x[i] = b[i].
+    piece = np.zeros(n)
+    piece[lo:hi] = b
+    parts = yield from gather(env, "gj.x", 1, p, piece.tobytes())
+    if parts is None:
+        return elapsed, None
+    x = np.sum([np.frombuffer(q) for q in parts], axis=0)
+    return elapsed, x
+
+
+def gauss_jordan_parallel(
+    a: np.ndarray,
+    b: np.ndarray,
+    p: int,
+    machine: MachineConfig = BALANCE_21000,
+    costs: Costs = DEFAULT_COSTS,
+    runtime=None,
+) -> GJResult:
+    """Solve ``A x = b`` with ``p`` worker processes plus an arbiter.
+
+    ``runtime`` defaults to a fresh :class:`SimRuntime` on ``machine``;
+    pass a :class:`~repro.runtime.threads.ThreadRuntime` to run the same
+    program on real threads.
+    """
+    n = len(b)
+    if not 1 <= p <= n:
+        raise ValueError(f"need 1 <= p <= {n}")
+    runtime = runtime or SimRuntime(machine=machine)
+
+    def arbiter(env: Env):
+        return (yield from _arbiter(env, n, p))
+
+    def worker(env: Env):
+        return (yield from _worker(env, n, p, a, b))
+
+    cfg = MPFConfig(
+        max_lnvcs=max(32, 2 * p + 16),
+        max_processes=p + 1,
+        max_messages=max(256, 4 * p + 64),
+        message_pool_bytes=max(1 << 20, 4 * p * (8 * n + 64)),
+    )
+    result = runtime.run([arbiter] + [worker] * p, cfg=cfg, costs=costs)
+    elapsed = max(
+        v[0] for k, v in result.results.items() if k != "p0" and v is not None
+    )
+    x = result.results["p1"][1]
+    return GJResult(x=x, elapsed=elapsed, p=p, n=n)
+
+
+def gj_speedup(
+    n: int,
+    p: int,
+    machine: MachineConfig = BALANCE_21000,
+    costs: Costs = DEFAULT_COSTS,
+    seed: int = 7,
+) -> float:
+    """Figure 7's metric: sequential simulated time over parallel.
+
+    Both numerator and denominator charge the identical per-row flop
+    formula, so the ratio isolates communication cost and load imbalance
+    — the two effects the paper's Figure 7 discussion analyses.
+    """
+    a, b = make_system(n, seed)
+    seq = gj_sequential_sim_time(n, machine, costs)
+    par = gauss_jordan_parallel(a, b, p, machine, costs)
+    return seq / par.elapsed

@@ -1,0 +1,295 @@
+"""Paradigm study: the same kernels, message passing vs shared memory.
+
+This is the study the paper points to (§5: "One important research
+issue with these systems is the effect of the parallel programming
+paradigm (message passing or shared memory) on application
+performance") and the premise of its introduction ("this adaptation may
+incur a substantial performance penalty").
+
+Two kernels, each written twice over identical compute charges, so the
+measured difference is purely the coordination cost:
+
+* **global sum** — every process contributes a partial sum of its slice;
+  * MP: :func:`repro.patterns.reduce` over an FCFS circuit;
+  * SHM: :class:`~repro.ext.shared_vars.LockedAccumulator` plus a
+    counter barrier.
+* **1-D Jacobi relaxation** — iterative nearest-neighbour smoothing;
+  * MP: per-process local slices, boundary values exchanged through
+    :class:`~repro.patterns.Mailboxes` each iteration;
+  * SHM: one :class:`~repro.ext.shared_vars.SharedDoubles` array read
+    and written in place, two barriers per iteration (the classic
+    fork-join style).
+
+Both versions of each kernel compute identical numerics (tests assert
+it), so ``mp_time / shm_time`` is the paper's "performance penalty" of
+the message-passing formulation on a shared-memory machine.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.costmodel import Costs, DEFAULT_COSTS
+from ..core.layout import MPFConfig
+from ..ext.shared_vars import CounterBarrier, LockedAccumulator, SharedDoubles
+from ..machine.balance import BALANCE_21000, MachineConfig
+from ..patterns import Mailboxes, allreduce, barrier
+from ..runtime.base import Env
+from ..runtime.sim import SimRuntime
+
+__all__ = [
+    "ParadigmResult",
+    "global_sum_mp",
+    "global_sum_shm",
+    "jacobi_mp",
+    "jacobi_shm",
+    "paradigm_penalty",
+]
+
+_F8 = struct.Struct("<d")
+
+#: Flops charged per element in a partial sum.
+_SUM_FLOPS = 1
+#: Flops charged per point per Jacobi iteration.
+_JACOBI_FLOPS = 3
+
+
+@dataclass(frozen=True)
+class ParadigmResult:
+    """Outcome of one kernel run."""
+
+    value: float | np.ndarray
+    elapsed: float
+    p: int
+
+
+def _slices(n: int, p: int) -> list[tuple[int, int]]:
+    base, rem = divmod(n, p)
+    spans, lo = [], 0
+    for w in range(p):
+        hi = lo + base + (1 if w < rem else 0)
+        spans.append((lo, hi))
+        lo = hi
+    return spans
+
+
+# ---------------------------------------------------------------------------
+# kernel 1: global sum
+# ---------------------------------------------------------------------------
+
+
+def global_sum_mp(
+    data: np.ndarray,
+    p: int,
+    rounds: int = 8,
+    machine: MachineConfig = BALANCE_21000,
+    costs: Costs = DEFAULT_COSTS,
+) -> ParadigmResult:
+    """Global sum by message passing (allreduce), ``rounds`` times."""
+    spans = _slices(len(data), p)
+
+    def worker(env: Env):
+        lo, hi = spans[env.rank]
+        local = float(np.sum(data[lo:hi]))
+        t0 = env.now()
+        total = 0.0
+        for k in range(rounds):
+            yield from env.compute(flops=_SUM_FLOPS * (hi - lo))
+            acc = yield from allreduce(
+                env, f"gsum{k}", env.nprocs, _F8.pack(local),
+                lambda a, b: _F8.pack(_F8.unpack(a)[0] + _F8.unpack(b)[0]),
+            )
+            total = _F8.unpack(acc)[0]
+        return env.now() - t0, total
+
+    result = SimRuntime(machine=machine).run(
+        [worker] * p,
+        cfg=MPFConfig(max_lnvcs=max(64, 6 * rounds + 8), max_processes=p,
+                      max_messages=512),
+        costs=costs,
+    )
+    elapsed = max(v[0] for v in result.results.values())
+    return ParadigmResult(result.results["p0"][1], elapsed, p)
+
+
+def global_sum_shm(
+    data: np.ndarray,
+    p: int,
+    rounds: int = 8,
+    machine: MachineConfig = BALANCE_21000,
+    costs: Costs = DEFAULT_COSTS,
+) -> ParadigmResult:
+    """Global sum by shared accumulator + barrier, ``rounds`` times."""
+    spans = _slices(len(data), p)
+    cfg = MPFConfig(
+        max_lnvcs=4,
+        max_processes=p,
+        ext_slots=2,  # accumulator lock + barrier
+        ext_bytes=LockedAccumulator.bytes_needed()
+        + CounterBarrier.bytes_needed()
+        + SharedDoubles.bytes_needed(1),
+    )
+
+    def worker(env: Env):
+        acc = LockedAccumulator(env.view, slot=0, byte_offset=0)
+        bar = CounterBarrier(env.view, p, slot=1, byte_offset=8)
+        out = SharedDoubles(env.view, 1, byte_offset=16)
+        lo, hi = spans[env.rank]
+        local = float(np.sum(data[lo:hi]))
+        t0 = env.now()
+        total = 0.0
+        for _ in range(rounds):
+            yield from env.compute(flops=_SUM_FLOPS * (hi - lo))
+            yield from acc.add(local)
+            yield from bar.wait()
+            if env.rank == 0:
+                yield from out.write(0, acc.peek())
+                acc.reset()
+            yield from bar.wait()
+            total = yield from out.read(0)
+            yield from bar.wait()
+        return env.now() - t0, total
+
+    result = SimRuntime(machine=machine).run([worker] * p, cfg=cfg, costs=costs)
+    elapsed = max(v[0] for v in result.results.values())
+    return ParadigmResult(result.results["p0"][1], elapsed, p)
+
+
+# ---------------------------------------------------------------------------
+# kernel 2: 1-D Jacobi relaxation
+# ---------------------------------------------------------------------------
+
+
+def jacobi_mp(
+    u0: np.ndarray,
+    p: int,
+    iterations: int = 10,
+    machine: MachineConfig = BALANCE_21000,
+    costs: Costs = DEFAULT_COSTS,
+) -> ParadigmResult:
+    """1-D Jacobi with halo exchange over MPF circuits."""
+    n = len(u0)
+    spans = _slices(n - 2, p)  # interior points
+
+    def worker(env: Env):
+        lo, hi = spans[env.rank]
+        left = env.rank - 1 if env.rank > 0 else None
+        right = env.rank + 1 if env.rank < p - 1 else None
+        # Local slice with a one-point halo on each side.
+        u = u0[lo : hi + 2].astype(float).copy()
+        boxes = Mailboxes(env, "halo")
+        yield from boxes.connect([x for x in (left, right) if x is not None])
+        t0 = env.now()
+        for _ in range(iterations):
+            payloads = {}
+            if left is not None:
+                payloads[left] = _F8.pack(u[1])
+            if right is not None:
+                payloads[right] = _F8.pack(u[-2])
+            replies = yield from boxes.swap_all(payloads)
+            if left is not None:
+                u[0] = _F8.unpack(replies[left])[0]
+            if right is not None:
+                u[-1] = _F8.unpack(replies[right])[0]
+            u[1:-1] = 0.5 * (u[:-2] + u[2:])
+            yield from env.compute(flops=_JACOBI_FLOPS * (hi - lo))
+        elapsed = env.now() - t0
+        yield from boxes.close()
+        from ..patterns import gather
+
+        parts = yield from gather(env, "jout", 0, p, u[1:-1].tobytes())
+        full = None
+        if parts is not None:
+            interior = np.concatenate([np.frombuffer(q) for q in parts])
+            full = np.concatenate([[u0[0]], interior, [u0[-1]]])
+        return elapsed, full
+
+    result = SimRuntime(machine=machine).run(
+        [worker] * p,
+        cfg=MPFConfig(max_lnvcs=max(32, 4 * p + 8), max_processes=p,
+                      max_messages=256,
+                      message_pool_bytes=max(1 << 20, 32 * n)),
+        costs=costs,
+    )
+    elapsed = max(v[0] for v in result.results.values())
+    return ParadigmResult(result.results["p0"][1], elapsed, p)
+
+
+def jacobi_shm(
+    u0: np.ndarray,
+    p: int,
+    iterations: int = 10,
+    machine: MachineConfig = BALANCE_21000,
+    costs: Costs = DEFAULT_COSTS,
+) -> ParadigmResult:
+    """1-D Jacobi on one shared array with two barriers per iteration."""
+    n = len(u0)
+    spans = _slices(n - 2, p)
+    cfg = MPFConfig(
+        max_lnvcs=4,
+        max_processes=p,
+        ext_slots=1,
+        ext_bytes=CounterBarrier.bytes_needed() + SharedDoubles.bytes_needed(2 * n),
+    )
+
+    def worker(env: Env):
+        bar = CounterBarrier(env.view, p, slot=0, byte_offset=0)
+        # Double buffer: cur and nxt alternate each iteration.
+        bufs = [
+            SharedDoubles(env.view, n, byte_offset=8),
+            SharedDoubles(env.view, n, byte_offset=8 + 8 * n),
+        ]
+        if env.rank == 0:
+            for i, v in enumerate(u0):
+                bufs[0].poke(i, float(v))
+                bufs[1].poke(i, float(v))
+        lo, hi = spans[env.rank]
+        t0 = env.now()
+        for it in range(iterations):
+            cur, nxt = bufs[it % 2], bufs[(it + 1) % 2]
+            yield from bar.wait()  # everyone sees the current buffer
+            window = yield from cur.read_slice(lo, hi + 2)
+            w = np.asarray(window)
+            yield from nxt.write_slice(1 + lo, 0.5 * (w[:-2] + w[2:]))
+            yield from env.compute(flops=_JACOBI_FLOPS * (hi - lo))
+            yield from bar.wait()  # everyone finished writing
+        elapsed = env.now() - t0
+        final = bufs[iterations % 2]
+        full = np.array([final.peek(i) for i in range(n)]) if env.rank == 0 else None
+        return elapsed, full
+
+    result = SimRuntime(machine=machine).run([worker] * p, cfg=cfg, costs=costs)
+    elapsed = max(v[0] for v in result.results.values())
+    return ParadigmResult(result.results["p0"][1], elapsed, p)
+
+
+def paradigm_penalty(
+    kernel: str,
+    n: int,
+    p: int,
+    machine: MachineConfig = BALANCE_21000,
+    costs: Costs = DEFAULT_COSTS,
+    seed: int = 3,
+) -> tuple[float, float, float]:
+    """Run one kernel both ways; returns ``(mp_time, shm_time, penalty)``.
+
+    ``penalty`` is ``mp_time / shm_time`` — the paper's cross-paradigm
+    port cost, ≥ 1 when the message-passing formulation is slower.
+    """
+    rng = np.random.default_rng(seed)
+    if kernel == "sum":
+        data = rng.uniform(0.0, 1.0, size=n)
+        mp = global_sum_mp(data, p, machine=machine, costs=costs)
+        shm = global_sum_shm(data, p, machine=machine, costs=costs)
+        assert abs(mp.value - shm.value) < 1e-9 * max(1.0, abs(shm.value))
+    elif kernel == "jacobi":
+        u0 = rng.uniform(0.0, 1.0, size=n)
+        mp = jacobi_mp(u0, p, machine=machine, costs=costs)
+        shm = jacobi_shm(u0, p, machine=machine, costs=costs)
+        assert np.allclose(mp.value, shm.value)
+    else:
+        raise ValueError("kernel must be 'sum' or 'jacobi'")
+    return mp.elapsed, shm.elapsed, mp.elapsed / shm.elapsed

@@ -1,0 +1,379 @@
+"""Parallel SOR Poisson solver on an N×N process grid (paper §4, Fig. 8).
+
+The paper ported a hypercube elliptic-PDE solver to MPF:
+
+    "The solver iterates over a grid of points, using successive
+    over-relaxation (SOR), until the grid converges ... If the grid of
+    points contains P×P points, it is partitioned into N×N subgrids of
+    size P/N × P/N.  Each subgrid is assigned to a processor, and each
+    processor iterates over its subgrid.  On each iteration, the
+    boundaries of each sub-grid must be exchanged with the four
+    neighboring processors.  In addition, the processors determine if the
+    local sub-grid has converged and send this status information to a
+    monitoring process."
+
+Structure here: rank 0 is the convergence monitor; ranks ``1..N²`` own
+block subgrids.  Halo exchange uses per-neighbour-pair FCFS circuits
+(:class:`~repro.patterns.Mailboxes` — "interprocess communication among
+neighbors corresponds naturally to FCFS LNVC's") and the monitor's
+continue/stop decision travels on a BROADCAST circuit ("BROADCAST LNVC's
+were used to broadcast convergence information from the monitoring
+process").
+
+The sweep is red–black SOR with *global* point parity, so the
+distributed iteration computes exactly the sequential iteration and the
+parallel solver can be validated against both the sequential solver and
+the analytic solution of the model problem.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.costmodel import Costs, DEFAULT_COSTS
+from ..core.layout import MPFConfig
+from ..core.protocol import BROADCAST, FCFS
+from ..machine.balance import BALANCE_21000, MachineConfig
+from ..patterns import Mailboxes, barrier, gather, tag, untag
+from ..runtime.base import Env
+from ..runtime.sim import SimRuntime
+
+__all__ = [
+    "PoissonProblem",
+    "poisson_reference",
+    "sor_sequential",
+    "sor_parallel",
+    "sor_sequential_sim_time",
+    "sor_per_iteration_speedup",
+    "SORResult",
+]
+
+_STATUS = struct.Struct("<d")
+_CTL_GO, _CTL_STOP = b"\x01", b"\x00"
+
+#: Flops per point per red-black sweep (5-point stencil + relaxation).
+_FLOPS_PER_POINT = 10
+
+
+@dataclass(frozen=True)
+class PoissonProblem:
+    """−∇²u = f on the unit square with zero Dirichlet boundary.
+
+    The model instance has the analytic solution
+    ``u(x, y) = sin(πx)·sin(πy)`` with ``f = 2π²·sin(πx)·sin(πy)``,
+    which makes correctness checks independent of any solver.
+    """
+
+    m: int  # grid points per side, boundary included
+
+    @property
+    def h(self) -> float:
+        return 1.0 / (self.m - 1)
+
+    def coords(self) -> tuple[np.ndarray, np.ndarray]:
+        line = np.linspace(0.0, 1.0, self.m)
+        return np.meshgrid(line, line, indexing="ij")
+
+    def rhs(self) -> np.ndarray:
+        x, y = self.coords()
+        return 2.0 * np.pi**2 * np.sin(np.pi * x) * np.sin(np.pi * y)
+
+    def exact(self) -> np.ndarray:
+        x, y = self.coords()
+        return np.sin(np.pi * x) * np.sin(np.pi * y)
+
+    def omega_opt(self) -> float:
+        """Optimal SOR relaxation factor for the 5-point Laplacian."""
+        rho = np.cos(np.pi * self.h)
+        return 2.0 / (1.0 + np.sqrt(1.0 - rho * rho))
+
+
+def poisson_reference(m: int) -> np.ndarray:
+    """The analytic solution sampled on the m×m grid."""
+    return PoissonProblem(m).exact()
+
+
+def _color_sweep(u: np.ndarray, f: np.ndarray, h2: float, omega: float,
+                 i0: int, j0: int, color: int) -> float:
+    """One color half-sweep of red-black SOR over the interior of ``u``.
+
+    ``u`` carries a one-point halo ring; ``f`` matches the interior.
+    ``(i0, j0)`` are the *global* coordinates of the first interior
+    point, anchoring the red/black parity globally so block-distributed
+    sweeps equal the sequential sweep point-for-point.  Returns the
+    maximum absolute update of this half-sweep.
+    """
+    delta = 0.0
+    ni, nj = f.shape
+    # Global parity of point (i0 + a, j0 + b) is (i0 + j0 + a + b) % 2.
+    for a0 in (0, 1):
+        b0 = (color - i0 - j0 - a0) % 2
+        core = u[1 + a0 : 1 + ni : 2, 1 + b0 : 1 + nj : 2]
+        if core.size == 0:
+            continue
+        north = u[a0 : ni : 2, 1 + b0 : 1 + nj : 2]
+        south = u[2 + a0 : 2 + ni : 2, 1 + b0 : 1 + nj : 2]
+        west = u[1 + a0 : 1 + ni : 2, b0 : nj : 2]
+        east = u[1 + a0 : 1 + ni : 2, 2 + b0 : 2 + nj : 2]
+        rhs = f[a0::2, b0::2]
+        upd = omega * 0.25 * (north + south + west + east + h2 * rhs - 4.0 * core)
+        if upd.size:
+            delta = max(delta, float(np.max(np.abs(upd))))
+            core += upd
+    return delta
+
+
+def _rb_sweep(u: np.ndarray, f: np.ndarray, h2: float, omega: float,
+              i0: int, j0: int) -> float:
+    """A full red-then-black SOR sweep (both half-sweeps, no exchange)."""
+    d0 = _color_sweep(u, f, h2, omega, i0, j0, 0)
+    d1 = _color_sweep(u, f, h2, omega, i0, j0, 1)
+    return max(d0, d1)
+
+
+@dataclass(frozen=True)
+class SORResult:
+    """Outcome of one solver run."""
+
+    u: np.ndarray | None
+    iterations: int
+    elapsed: float
+    converged: bool
+
+
+def sor_sequential(
+    m: int,
+    tol: float = 1e-6,
+    max_iters: int = 10_000,
+    omega: float | None = None,
+) -> SORResult:
+    """Sequential red-black SOR on the full grid (pure NumPy)."""
+    prob = PoissonProblem(m)
+    omega = prob.omega_opt() if omega is None else omega
+    u = np.zeros((m, m))
+    f = prob.rhs()[1:-1, 1:-1]
+    h2 = prob.h**2
+    for it in range(1, max_iters + 1):
+        delta = _rb_sweep(u, f, h2, omega, 1, 1)
+        if delta < tol:
+            return SORResult(u=u, iterations=it, elapsed=0.0, converged=True)
+    return SORResult(u=u, iterations=max_iters, elapsed=0.0, converged=False)
+
+
+def _block(mi: int, n: int, idx: int) -> tuple[int, int]:
+    """Interior slice [lo, hi) of dimension ``mi`` for block ``idx`` of ``n``."""
+    base, rem = divmod(mi, n)
+    lo = idx * base + min(idx, rem)
+    return lo, lo + base + (1 if idx < rem else 0)
+
+
+def _monitor(env: Env, nworkers: int, tol: float, max_iters: int):
+    """Rank 0: reduce per-iteration convergence status, broadcast verdict."""
+    status = yield from env.open_receive("sor.status", FCFS)
+    ctl = yield from env.open_send("sor.ctl")
+    yield from barrier(env, "sor.start", nworkers + 1)
+    iterations = 0
+    converged = False
+    for _ in range(max_iters):
+        worst = 0.0
+        for _ in range(nworkers):
+            (delta,) = _STATUS.unpack((yield from env.message_receive(status)))
+            worst = max(worst, delta)
+        iterations += 1
+        converged = worst < tol
+        yield from env.message_send(ctl, _CTL_STOP if converged else _CTL_GO)
+        if converged:
+            break
+    yield from barrier(env, "sor.end", nworkers + 1)
+    yield from env.close_receive(status)
+    yield from env.close_send(ctl)
+    return iterations, converged
+
+
+def _sor_worker(env: Env, m: int, n: int, tol: float, max_iters: int,
+                omega: float):
+    """Ranks 1..N²: sweep a block, exchange halos, report status."""
+    prob = PoissonProblem(m)
+    w = env.rank - 1
+    r, c = divmod(w, n)
+    mi = m - 2  # interior points per side
+    rlo, rhi = _block(mi, n, r)
+    clo, chi = _block(mi, n, c)
+    rows, cols = rhi - rlo, chi - clo
+
+    # Local state: interior block plus a one-point halo ring.  Global
+    # boundary parts of the ring hold the (zero) Dirichlet condition.
+    u = np.zeros((rows + 2, cols + 2))
+    f = prob.rhs()[1 + rlo : 1 + rhi, 1 + clo : 1 + chi]
+    h2 = prob.h**2
+
+    up = 1 + (r - 1) * n + c if r > 0 else None
+    down = 1 + (r + 1) * n + c if r < n - 1 else None
+    left = 1 + r * n + (c - 1) if c > 0 else None
+    right = 1 + r * n + (c + 1) if c < n - 1 else None
+    neighbours = [p for p in (up, down, left, right) if p is not None]
+
+    boxes = Mailboxes(env, "sor.halo")
+    yield from boxes.connect(neighbours)
+    status = yield from env.open_send("sor.status")
+    ctl = yield from env.open_receive("sor.ctl", BROADCAST)
+    yield from barrier(env, "sor.start", n * n + 1)
+    t0 = env.now()
+
+    def halo_exchange():
+        # "the boundaries of each sub-grid must be exchanged with the
+        # four neighboring processors."
+        payloads = {}
+        if up is not None:
+            payloads[up] = u[1, 1:-1].tobytes()
+        if down is not None:
+            payloads[down] = u[rows, 1:-1].tobytes()
+        if left is not None:
+            payloads[left] = np.ascontiguousarray(u[1:-1, 1]).tobytes()
+        if right is not None:
+            payloads[right] = np.ascontiguousarray(u[1:-1, cols]).tobytes()
+        replies = yield from boxes.swap_all(payloads)
+        if up is not None:
+            u[0, 1:-1] = np.frombuffer(replies[up])
+        if down is not None:
+            u[rows + 1, 1:-1] = np.frombuffer(replies[down])
+        if left is not None:
+            u[1:-1, 0] = np.frombuffer(replies[left])
+        if right is not None:
+            u[1:-1, cols + 1] = np.frombuffer(replies[right])
+
+    iterations = 0
+    converged = False
+    for _ in range(max_iters):
+        # 1+2. Exchange halos before each half-sweep, so the black pass
+        # reads the neighbours' freshly updated red points and the
+        # distributed iteration equals the sequential one exactly.
+        delta = 0.0
+        for color in (0, 1):
+            yield from halo_exchange()
+            delta = max(
+                delta,
+                _color_sweep(u, f, h2, omega, 1 + rlo, 1 + clo, color),
+            )
+            yield from env.compute(
+                flops=(_FLOPS_PER_POINT * rows * cols) // 2
+            )
+
+        # 3. Convergence status to the monitor; await the verdict.
+        yield from env.message_send(status, _STATUS.pack(delta))
+        verdict = yield from env.message_receive(ctl)
+        iterations += 1
+        if verdict == _CTL_STOP:
+            converged = True
+            break
+
+    elapsed = env.now() - t0
+    yield from barrier(env, "sor.end", n * n + 1)
+    yield from boxes.close()
+    yield from env.close_send(status)
+    yield from env.close_receive(ctl)
+
+    # Assemble the solution at worker 1 for verification.
+    piece = np.zeros((m, m))
+    piece[1 + rlo : 1 + rhi, 1 + clo : 1 + chi] = u[1:-1, 1:-1]
+    parts = yield from gather(env, "sor.u", 1, n * n, piece.tobytes())
+    full = None
+    if parts is not None:
+        full = np.sum(
+            [np.frombuffer(q).reshape(m, m) for q in parts], axis=0
+        )
+    return elapsed, iterations, converged, full
+
+
+def sor_parallel(
+    m: int,
+    n: int,
+    tol: float = 1e-6,
+    max_iters: int = 10_000,
+    omega: float | None = None,
+    machine: MachineConfig = BALANCE_21000,
+    costs: Costs = DEFAULT_COSTS,
+    runtime=None,
+) -> SORResult:
+    """Solve the model Poisson problem on an ``n×n`` process grid.
+
+    Runs ``n² + 1`` processes (workers plus monitor).  Exchange halos,
+    sweep, report, repeat — until the monitor broadcasts convergence or
+    ``max_iters`` is reached.
+    """
+    if n < 1 or (m - 2) < n:
+        raise ValueError(f"need 1 <= n <= {m - 2}")
+    runtime = runtime or SimRuntime(machine=machine)
+    om = PoissonProblem(m).omega_opt() if omega is None else omega
+    nw = n * n
+
+    def monitor(env: Env):
+        return (yield from _monitor(env, nw, tol, max_iters))
+
+    def worker(env: Env):
+        return (yield from _sor_worker(env, m, n, tol, max_iters, om))
+
+    cfg = MPFConfig(
+        max_lnvcs=max(64, 8 * nw + 16),
+        max_processes=nw + 1,
+        max_messages=max(512, 16 * nw + 64),
+        message_pool_bytes=max(1 << 20, 8 * nw * (8 * m + 64)),
+    )
+    result = runtime.run([monitor] + [worker] * nw, cfg=cfg, costs=costs)
+    workers = [v for k, v in result.results.items() if k != "p0"]
+    elapsed = max(v[0] for v in workers)
+    iterations = max(v[1] for v in workers)
+    converged = all(v[2] for v in workers)
+    full = result.results["p1"][3]
+    return SORResult(u=full, iterations=iterations, elapsed=elapsed,
+                     converged=converged)
+
+
+def sor_sequential_sim_time(
+    m: int,
+    iterations: int,
+    machine: MachineConfig = BALANCE_21000,
+    costs: Costs = DEFAULT_COSTS,
+) -> float:
+    """Simulated seconds for ``iterations`` sequential sweeps of the grid."""
+
+    def worker(env: Env):
+        t0 = env.now()
+        for _ in range(iterations):
+            yield from env.compute(flops=_FLOPS_PER_POINT * (m - 2) * (m - 2))
+        return env.now() - t0
+
+    result = SimRuntime(machine=machine).run(
+        [worker], cfg=MPFConfig(max_lnvcs=2, max_processes=1), costs=costs
+    )
+    return result.results["p0"]
+
+
+def sor_per_iteration_speedup(
+    m: int,
+    n: int,
+    base_n: int = 2,
+    iterations: int = 6,
+    machine: MachineConfig = BALANCE_21000,
+    costs: Costs = DEFAULT_COSTS,
+) -> float:
+    """Figure 8's metric: per-iteration speedup relative to ``base_n``.
+
+    "Because no equivalent, sequential solver was available, all
+    speedups are shown relative to the smallest parallel solver: 4
+    processes" — i.e. the N=2 decomposition.  Both runs execute a fixed
+    number of iterations (convergence disabled) and the ratio of
+    per-iteration times is returned.
+    """
+
+    def per_iter(dim: int) -> float:
+        res = sor_parallel(
+            m, dim, tol=0.0, max_iters=iterations,
+            machine=machine, costs=costs,
+        )
+        return res.elapsed / res.iterations
+
+    return per_iter(base_n) / per_iter(n)

@@ -1,0 +1,174 @@
+"""Odd-even transposition sort on a line of MPF processes.
+
+A third application in the spirit of paper §5 — "Programs destined for
+message passing systems can be easily prototyped in the MPF
+environment": the textbook distributed sorting network whose natural
+home is a linear message-passing topology.
+
+``P`` processes each hold a contiguous block of the keys, locally
+sorted.  For ``P`` phases, alternating even/odd pairs of neighbours
+exchange their whole blocks over per-pair FCFS circuits
+(:class:`~repro.patterns.Mailboxes`); the left partner keeps the lower
+half of the merge and the right partner the upper half.  After ``P``
+phases the concatenation of blocks is globally sorted (the classic
+odd-even transposition invariant).
+
+Communication is block exchange (perimeter = whole block), computation
+is the merge (also linear in the block) — unlike Figures 7/8 this app
+has a *constant* computation-to-communication ratio, so speedup comes
+only from overlapping the merges, a usefully different regime for
+exercising the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.costmodel import Costs, DEFAULT_COSTS
+from ..core.layout import MPFConfig
+from ..machine.balance import BALANCE_21000, MachineConfig
+from ..patterns import Mailboxes, gather
+from ..runtime.base import Env
+from ..runtime.sim import SimRuntime
+
+__all__ = [
+    "SortResult",
+    "odd_even_sort_parallel",
+    "sort_sequential_sim_time",
+    "sort_speedup",
+    "make_keys",
+]
+
+#: Charged instructions per element merged or compared.
+_MERGE_INSTRS = 20
+#: Charged instructions per element in the initial local sort, per
+#: log-level (n log n with this constant per element-level).
+_SORT_INSTRS = 24
+
+
+def make_keys(n: int, seed: int = 11) -> np.ndarray:
+    """Deterministic random float keys."""
+    return np.random.default_rng(seed).uniform(0.0, 1.0, size=n)
+
+
+def _blocks(n: int, p: int) -> list[tuple[int, int]]:
+    base, rem = divmod(n, p)
+    spans = []
+    lo = 0
+    for w in range(p):
+        hi = lo + base + (1 if w < rem else 0)
+        spans.append((lo, hi))
+        lo = hi
+    return spans
+
+
+@dataclass(frozen=True)
+class SortResult:
+    """Outcome of one parallel sort run."""
+
+    keys: np.ndarray | None
+    elapsed: float
+    p: int
+
+
+def _worker(env: Env, keys: np.ndarray, p: int):
+    w = env.rank
+    lo, hi = _blocks(len(keys), p)[w]
+    mine = np.sort(keys[lo:hi])
+    size = hi - lo
+    import math
+
+    levels = max(1, int(math.ceil(math.log2(max(2, size)))))
+    yield from env.compute(instrs=_SORT_INSTRS * size * levels)
+
+    left = w - 1 if w > 0 else None
+    right = w + 1 if w < p - 1 else None
+    boxes = Mailboxes(env, "oes")
+    yield from boxes.connect([x for x in (left, right) if x is not None])
+
+    t0 = env.now()
+    for phase in range(p):
+        # Even phase pairs (0,1),(2,3),...; odd phase pairs (1,2),(3,4),...
+        if phase % 2 == w % 2:
+            partner, keep_low = right, True
+        else:
+            partner, keep_low = left, False
+        if partner is None:
+            continue
+        theirs = np.frombuffer(
+            (yield from boxes.swap(partner, mine.tobytes()))
+        )
+        merged = np.sort(np.concatenate([mine, theirs]))
+        yield from env.compute(instrs=_MERGE_INSTRS * len(merged))
+        mine = merged[:size] if keep_low else merged[len(merged) - size:]
+    elapsed = env.now() - t0
+
+    yield from boxes.close()
+    parts = yield from gather(env, "oes.out", 0, p, mine.tobytes())
+    result = None
+    if parts is not None:
+        result = np.concatenate([np.frombuffer(q) for q in parts])
+    return elapsed, result
+
+
+def odd_even_sort_parallel(
+    keys: np.ndarray,
+    p: int,
+    machine: MachineConfig = BALANCE_21000,
+    costs: Costs = DEFAULT_COSTS,
+    runtime=None,
+) -> SortResult:
+    """Sort ``keys`` over ``p`` processes; returns the sorted array."""
+    if not 1 <= p <= len(keys):
+        raise ValueError(f"need 1 <= p <= {len(keys)}")
+    runtime = runtime or SimRuntime(machine=machine)
+
+    def worker(env: Env):
+        return (yield from _worker(env, keys, p))
+
+    cfg = MPFConfig(
+        max_lnvcs=max(32, 4 * p + 8),
+        max_processes=p,
+        max_messages=max(128, 8 * p),
+        message_pool_bytes=max(1 << 20, 16 * p * (8 * len(keys) // max(1, p) + 64)),
+    )
+    result = runtime.run([worker] * p, cfg=cfg, costs=costs)
+    elapsed = max(v[0] for v in result.results.values())
+    return SortResult(keys=result.results["p0"][1], elapsed=elapsed, p=p)
+
+
+def sort_sequential_sim_time(
+    n: int,
+    machine: MachineConfig = BALANCE_21000,
+    costs: Costs = DEFAULT_COSTS,
+) -> float:
+    """Simulated seconds for a sequential n·log n sort of ``n`` keys."""
+    import math
+
+    levels = max(1, int(math.ceil(math.log2(max(2, n)))))
+
+    def worker(env: Env):
+        t0 = env.now()
+        yield from env.compute(instrs=_SORT_INSTRS * n * levels)
+        return env.now() - t0
+
+    result = SimRuntime(machine=machine).run(
+        [worker], cfg=MPFConfig(max_lnvcs=2, max_processes=1), costs=costs
+    )
+    return result.results["p0"]
+
+
+def sort_speedup(
+    n: int,
+    p: int,
+    machine: MachineConfig = BALANCE_21000,
+    costs: Costs = DEFAULT_COSTS,
+    seed: int = 11,
+) -> float:
+    """Sequential simulated sort time over parallel phase time."""
+    keys = make_keys(n, seed)
+    seq = sort_sequential_sim_time(n, machine, costs)
+    par = odd_even_sort_parallel(keys, p, machine, costs)
+    return seq / par.elapsed

@@ -1,0 +1,27 @@
+"""Benchmark workloads and the figure-regeneration harness.
+
+* :mod:`~repro.bench.workloads` — the paper's four synthetic programs
+  (`base`, `fcfs`, `broadcast`, `random`; §4, Figures 3–6),
+* :mod:`~repro.bench.harness` — sweep runner and table printing,
+* :mod:`~repro.bench.figures` — one entry per paper figure plus
+  ablations; ``python -m repro.bench fig3`` regenerates a figure's data.
+"""
+
+from .harness import BenchPoint, Series, SweepResult, run_series
+from .workloads import (
+    base_throughput,
+    broadcast_throughput,
+    fcfs_throughput,
+    random_throughput,
+)
+
+__all__ = [
+    "BenchPoint",
+    "Series",
+    "SweepResult",
+    "run_series",
+    "base_throughput",
+    "fcfs_throughput",
+    "broadcast_throughput",
+    "random_throughput",
+]

@@ -1,0 +1,74 @@
+"""Command-line entry for the figure harness.
+
+Usage::
+
+    python -m repro.bench fig3 fig7        # selected figures
+    python -m repro.bench all              # everything (full sweeps)
+    python -m repro.bench all --quick      # reduced sweeps
+    python -m repro.bench fig6 --json out.json
+
+Each figure prints the table of series the paper plots; ``--json``
+archives the raw points.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from .figures import FIGURES
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the MPF paper's figures on the simulated "
+        "Sequent Balance 21000.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="+",
+        help=f"figure names ({', '.join(FIGURES)}) or 'all'",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced sweeps (for CI)"
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="also write raw results as JSON"
+    )
+    parser.add_argument(
+        "--plot", action="store_true", help="also render ASCII charts"
+    )
+    args = parser.parse_args(argv)
+
+    names = list(FIGURES) if "all" in args.figures else args.figures
+    unknown = [n for n in names if n not in FIGURES]
+    if unknown:
+        parser.error(f"unknown figure(s): {', '.join(unknown)}")
+
+    outputs = []
+    for name in names:
+        t0 = time.perf_counter()
+        result = FIGURES[name](args.quick)
+        wall = time.perf_counter() - t0
+        print(result.format_table())
+        if args.plot:
+            from .plot import ascii_plot
+
+            print()
+            print(ascii_plot(result))
+        print(f"  [{wall:.1f}s wall]")
+        print()
+        outputs.append(result.to_dict())
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(outputs, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,407 @@
+"""One entry per paper figure, plus design-choice ablations.
+
+Each ``figN`` function runs the corresponding experiment sweep on the
+simulated Balance 21000 and returns a
+:class:`~repro.bench.harness.SweepResult` whose table is directly
+comparable to the published curve.  ``quick=True`` shrinks the sweeps
+for CI; the full sweeps are what EXPERIMENTS.md records.
+
+Run from the command line::
+
+    python -m repro.bench fig3          # one figure
+    python -m repro.bench all --quick   # everything, reduced sweeps
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..apps.gauss_jordan import gj_speedup
+from ..apps.sor import sor_per_iteration_speedup
+from ..core.costmodel import DEFAULT_COSTS
+from ..core.layout import MPFConfig
+from ..core.protocol import FCFS
+from ..ext.o2o import O2ORing
+from ..ext.sync_channel import SyncChannels
+from ..machine.balance import BALANCE_21000
+from ..runtime.sim import SimRuntime
+from .harness import SweepResult
+from .workloads import (
+    base_throughput,
+    broadcast_throughput,
+    fcfs_throughput,
+    random_throughput,
+)
+
+__all__ = [
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "ablation_sync",
+    "ablation_o2o",
+    "ablation_block",
+    "ablation_paging",
+    "ablation_cache",
+    "study_paradigm",
+    "FIGURES",
+]
+
+
+def fig3(quick: bool = False) -> SweepResult:
+    """Figure 3: base benchmark, loop-back throughput vs message length."""
+    result = SweepResult(
+        "Figure 3", "Base benchmark: throughput vs. message length",
+        "bytes", "throughput (bytes/second of simulated time)",
+    )
+    lengths = (64, 256, 1024, 2048) if quick else (16, 64, 128, 256, 512, 768, 1024, 1536, 2048)
+    msgs = 24 if quick else 64
+    series = result.new_series("base")
+    for length in lengths:
+        m = base_throughput(length, messages=msgs)
+        series.add(length, m.throughput)
+    result.note("paper: rises toward a ~22-25 KB/s asymptote; memory/copy bound")
+    return result
+
+
+def _receiver_sweep(kind: str, fn, quick: bool) -> SweepResult:
+    result = SweepResult(
+        "Figure 4" if kind == "fcfs" else "Figure 5",
+        f"{kind} benchmark: throughput vs. receiving processes",
+        "receivers", "throughput (bytes/second of simulated time)",
+    )
+    counts = (1, 4, 8, 16) if quick else (1, 2, 4, 6, 8, 10, 12, 14, 16)
+    msgs = 32 if quick else 96
+    for length in (16, 128, 1024):
+        series = result.new_series(f"{length}B")
+        for n in counts:
+            m = fn(n, length, messages=msgs)
+            series.add(n, m.throughput)
+    return result
+
+
+def fig4(quick: bool = False) -> SweepResult:
+    """Figure 4: one sender, N FCFS receivers."""
+    result = _receiver_sweep("fcfs", fcfs_throughput, quick)
+    result.note("paper: 1024B roughly flat ~40-50 KB/s; small messages decline "
+                "with receivers (LNVC lock contention)")
+    return result
+
+
+def fig5(quick: bool = False) -> SweepResult:
+    """Figure 5: one sender, N BROADCAST receivers."""
+    result = _receiver_sweep("broadcast", broadcast_throughput, quick)
+    result.note("paper: near-linear scaling; 687,245 B/s at 16 receivers x 1024B "
+                "(concurrent receive copies)")
+    return result
+
+
+def fig6(quick: bool = False) -> SweepResult:
+    """Figure 6: fully connected random traffic, throughput vs processes."""
+    result = SweepResult(
+        "Figure 6", "Random benchmark: throughput vs. processes",
+        "processes", "throughput (bytes/second of simulated time)",
+    )
+    procs = (2, 6, 10, 14, 20) if quick else (2, 4, 6, 8, 10, 12, 14, 17, 20)
+    msgs = 16 if quick else 40
+    lengths = (8, 256, 1024) if quick else (1, 8, 64, 256, 1024)
+    for length in lengths:
+        series = result.new_series(f"{length}B")
+        for p in procs:
+            m = random_throughput(p, length, messages=msgs)
+            series.add(p, m.throughput,
+                       faults=m.run.report.page_faults)
+    result.note("paper: grows with processes at decreasing slope; 1024B bends "
+                "down past ~10 processes (paging), 256B only near 20")
+    return result
+
+
+def fig7(quick: bool = False) -> SweepResult:
+    """Figure 7: Gauss-Jordan speedup vs worker processes."""
+    result = SweepResult(
+        "Figure 7", "Gauss-Jordan with partial pivoting: speedup vs. processes",
+        "processes", "speedup over the sequential solver (simulated time)",
+    )
+    procs = (1, 4, 8, 16) if quick else (1, 2, 4, 8, 12, 16)
+    sizes = (32, 96) if quick else (32, 48, 64, 96)
+    for n in sizes:
+        series = result.new_series(f"{n}x{n}")
+        for p in procs:
+            series.add(p, gj_speedup(n, p))
+    result.note("paper: larger matrices give higher speedup; small matrices "
+                "peak early then decline (communication dominates)")
+    return result
+
+
+def fig8(quick: bool = False) -> SweepResult:
+    """Figure 8: SOR per-iteration speedup vs processor-grid dimension."""
+    result = SweepResult(
+        "Figure 8", "SOR Poisson solver: per-iteration speedup vs. dimension N",
+        "N (NxN processors)", "per-iteration speedup relative to N=2 (4 processes)",
+    )
+    dims = (2, 4) if quick else (1, 2, 3, 4)
+    grids = (17, 65) if quick else (9, 17, 33, 65)
+    iters = 4 if quick else 6
+    for m in grids:
+        series = result.new_series(f"{m}x{m}")
+        for n in dims:
+            series.add(n, sor_per_iteration_speedup(m, n, iterations=iters))
+    result.note("paper: speedups relative to the smallest parallel solver "
+                "(4 processes); large grids gain, 9x9 loses")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Ablations (design choices the paper discusses but does not measure)
+# ---------------------------------------------------------------------------
+
+
+def _pair_time(make_workers, cfg) -> float:
+    return SimRuntime().run(make_workers(), cfg=cfg).elapsed
+
+
+def ablation_sync(quick: bool = False) -> SweepResult:
+    """§5 ablation: general LNVC vs synchronous direct-transfer channel.
+
+    Per-message transfer time as a function of message length, one
+    sender and one receiver.  Quantifies the double-copy + block-
+    manipulation overhead the paper predicts synchronous passing
+    removes.
+    """
+    result = SweepResult(
+        "Ablation A", "General LNVC vs. synchronous channel: time per message",
+        "bytes", "microseconds per message (simulated)",
+    )
+    lengths = (16, 256, 2048) if quick else (16, 64, 256, 1024, 2048)
+    reps = 8 if quick else 16
+    lnvc = result.new_series("LNVC (async, double copy)")
+    sync = result.new_series("sync channel (rendezvous, direct)")
+    for length in lengths:
+        payload = b"x" * length
+
+        def lnvc_pair():
+            def sender(env):
+                cid = yield from env.open_send("c")
+                for _ in range(reps):
+                    yield from env.message_send(cid, payload)
+
+            def receiver(env):
+                cid = yield from env.open_receive("c", FCFS)
+                for _ in range(reps):
+                    yield from env.message_receive(cid)
+
+            return [sender, receiver]
+
+        def sync_pair():
+            def sender(env):
+                ch = SyncChannels(env.view, 1, 2 * length)
+                for _ in range(reps):
+                    yield from ch.send(0, env.rank, payload)
+
+            def receiver(env):
+                ch = SyncChannels(env.view, 1, 2 * length)
+                for _ in range(reps):
+                    yield from ch.receive(0, env.rank)
+
+            return [sender, receiver]
+
+        t1 = _pair_time(lnvc_pair, MPFConfig(max_lnvcs=4, max_processes=2))
+        t2 = _pair_time(
+            sync_pair,
+            MPFConfig(max_lnvcs=4, max_processes=2, ext_slots=1,
+                      ext_bytes=SyncChannels.bytes_needed(1, 2 * length)),
+        )
+        lnvc.add(length, 1e6 * t1 / reps)
+        sync.add(length, 1e6 * t2 / reps)
+    result.note("the gap grows with length: per-10-byte-block costs vs one "
+                "contiguous copy")
+    return result
+
+
+def ablation_o2o(quick: bool = False) -> SweepResult:
+    """§5 ablation: general LNVC vs lock-free one-to-one ring."""
+    result = SweepResult(
+        "Ablation B", "General LNVC vs. lock-free 1:1 ring: time per message",
+        "bytes", "microseconds per message (simulated)",
+    )
+    lengths = (16, 64) if quick else (4, 16, 48, 64)
+    reps = 12 if quick else 32
+    lnvc = result.new_series("LNVC (locks + blocks + allocator)")
+    ring = result.new_series("O2O ring (lock-free)")
+    for length in lengths:
+        payload = b"x" * length
+
+        def lnvc_pair():
+            def sender(env):
+                cid = yield from env.open_send("c")
+                for _ in range(reps):
+                    yield from env.message_send(cid, payload)
+
+            def receiver(env):
+                cid = yield from env.open_receive("c", FCFS)
+                for _ in range(reps):
+                    yield from env.message_receive(cid)
+
+            return [sender, receiver]
+
+        def ring_pair():
+            def producer(env):
+                r = O2ORing(env.view, 0, capacity=16, slot_bytes=64)
+                for _ in range(reps):
+                    yield from r.send(payload)
+
+            def consumer(env):
+                r = O2ORing(env.view, 0, capacity=16, slot_bytes=64)
+                for _ in range(reps):
+                    yield from r.receive()
+
+            return [producer, consumer]
+
+        t1 = _pair_time(lnvc_pair, MPFConfig(max_lnvcs=4, max_processes=2))
+        t2 = _pair_time(
+            ring_pair,
+            MPFConfig(max_lnvcs=4, max_processes=2,
+                      ext_bytes=O2ORing.bytes_needed(16, 64)),
+        )
+        lnvc.add(length, 1e6 * t1 / reps)
+        ring.add(length, 1e6 * t2 / reps)
+    result.note('"if only one-to-one communication is implemented, all '
+                'locking associated with message handling is removed"')
+    return result
+
+
+def ablation_block(quick: bool = False) -> SweepResult:
+    """Design ablation: message block size (the paper fixed 10 bytes).
+
+    Base-benchmark throughput at 1024-byte messages as the block size
+    varies.  Bigger blocks amortize per-block list costs — the knob the
+    paper's Figure 3 analysis implies but never sweeps.
+    """
+    result = SweepResult(
+        "Ablation C", "Block size vs. base throughput (1024B messages)",
+        "block bytes", "throughput (bytes/second of simulated time)",
+    )
+    sizes = (10, 64, 256) if quick else (4, 10, 32, 64, 128, 256)
+    msgs = 24 if quick else 48
+    series = result.new_series("base @1024B")
+    for bs in sizes:
+        from ..core.protocol import FCFS as _FCFS
+
+        def worker(env):
+            sid = yield from env.open_send("loop")
+            rid = yield from env.open_receive("loop", _FCFS)
+            t0 = env.now()
+            for _ in range(msgs):
+                yield from env.message_send(sid, b"x" * 1024)
+                yield from env.message_receive(rid)
+            return env.now() - t0
+
+        cfg = MPFConfig(max_lnvcs=4, max_processes=2, block_size=bs,
+                        max_messages=8, message_pool_bytes=1 << 18)
+        run = SimRuntime().run([worker], cfg=cfg)
+        series.add(bs, msgs * 1024 / run.results["p0"])
+    result.note("10-byte blocks (the paper's choice) sit far below the "
+                "large-block ceiling; generality of tiny messages traded "
+                "against bulk throughput")
+    return result
+
+
+def ablation_paging(quick: bool = False) -> SweepResult:
+    """Model ablation: Figure 6's random benchmark with paging disabled.
+
+    Separates queueing/lock contention from virtual-memory overhead —
+    the decomposition the paper asserts verbally ("this is the reason
+    for the decrease in observed throughput").
+    """
+    result = SweepResult(
+        "Ablation D", "Random benchmark (1024B) with and without paging",
+        "processes", "throughput (bytes/second of simulated time)",
+    )
+    procs = (2, 10, 20) if quick else (2, 6, 10, 14, 17, 20)
+    msgs = 16 if quick else 32
+    with_vm = result.new_series("paging on (Balance 21000)")
+    without = result.new_series("paging off")
+    for p in procs:
+        m1 = random_throughput(p, 1024, messages=msgs)
+        m2 = random_throughput(p, 1024, messages=msgs,
+                               machine=BALANCE_21000.without_paging())
+        with_vm.add(p, m1.throughput, faults=m1.run.report.page_faults)
+        without.add(p, m2.throughput)
+    result.note("the gap between the curves is exactly the simulated VM "
+                "overhead; without paging throughput keeps growing")
+    return result
+
+
+def ablation_cache(quick: bool = False) -> SweepResult:
+    """Model ablation: the write-through cache's read-miss stalls.
+
+    The broadcast benchmark cycles the deepest block working sets, so it
+    is where the cache could matter most; the ablation shows the effect
+    is second-order — consistent with the paper's analysis never
+    mentioning the cache at all.
+    """
+    result = SweepResult(
+        "Ablation E", "Broadcast benchmark (1024B) with and without the cache model",
+        "receivers", "throughput (bytes/second of simulated time)",
+    )
+    counts = (4, 16) if quick else (1, 4, 8, 16)
+    msgs = 24 if quick else 64
+    on = result.new_series("cache model on")
+    off = result.new_series("cache model off")
+    for n in counts:
+        m1 = broadcast_throughput(n, 1024, messages=msgs)
+        m2 = broadcast_throughput(
+            n, 1024, messages=msgs, machine=BALANCE_21000.without_cache()
+        )
+        on.add(n, m1.throughput,
+               stalls=m1.run.report.cache_stalled_blocks)
+        off.add(n, m2.throughput)
+    result.note("a few percent at most: MPF is software-cost bound, not "
+                "cache bound — matching the paper's silence about caches")
+    return result
+
+
+def study_paradigm(quick: bool = False) -> SweepResult:
+    """The §5 research question, measured: message passing vs shared
+    memory on the same kernels.
+
+    Plots the *penalty* (message-passing time over shared-memory time,
+    identical compute charges) against process count for the global-sum
+    and 1-D Jacobi kernels.  Values above 1 are the cost of the
+    cross-paradigm port the introduction warns about.
+    """
+    from ..apps.paradigm import paradigm_penalty
+
+    result = SweepResult(
+        "Study P", "Cross-paradigm penalty: message passing / shared memory",
+        "processes", "time ratio (MP / SHM, simulated)",
+    )
+    procs = (2, 4) if quick else (1, 2, 4, 8)
+    sizes = {"sum": 64 if quick else 256, "jacobi": 64 if quick else 256}
+    for kernel in ("sum", "jacobi"):
+        series = result.new_series(f"{kernel} (n={sizes[kernel]})")
+        for p in procs:
+            mp_t, shm_t, penalty = paradigm_penalty(kernel, sizes[kernel], p)
+            series.add(p, penalty, mp_seconds=mp_t, shm_seconds=shm_t)
+    result.note('paper §1: "this adaptation may incur a substantial '
+                'performance penalty" — quantified')
+    return result
+
+
+#: Registry used by ``python -m repro.bench``.
+FIGURES: dict[str, Callable[[bool], SweepResult]] = {
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "ablation_sync": ablation_sync,
+    "ablation_o2o": ablation_o2o,
+    "ablation_block": ablation_block,
+    "ablation_paging": ablation_paging,
+    "ablation_cache": ablation_cache,
+    "study_paradigm": study_paradigm,
+}

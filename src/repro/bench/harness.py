@@ -1,0 +1,148 @@
+"""Sweep runner and table formatting for the figure harness.
+
+The paper reports its evaluation as six figures of throughput/speedup
+series.  A :class:`SweepResult` holds one figure's worth of series and
+formats them as the rows the paper plots, so ``python -m repro.bench
+fig4`` prints a table whose columns are directly comparable to the
+published curves.  EXPERIMENTS.md is generated from these tables.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+__all__ = ["BenchPoint", "Series", "SweepResult", "run_series", "format_rate"]
+
+
+@dataclass(frozen=True)
+class BenchPoint:
+    """One measured point of one series."""
+
+    #: The swept parameter (message length, receiver count, ...).
+    x: float
+    #: The measured value (bytes/s or speedup).
+    y: float
+    #: Free-form extras (machine counters worth reporting).
+    extra: dict = field(default_factory=dict)
+
+
+@dataclass
+class Series:
+    """One curve of a figure."""
+
+    label: str
+    points: list[BenchPoint] = field(default_factory=list)
+
+    def add(self, x: float, y: float, **extra) -> None:
+        self.points.append(BenchPoint(x, y, dict(extra)))
+
+    def ys(self) -> list[float]:
+        return [p.y for p in self.points]
+
+    def xs(self) -> list[float]:
+        return [p.x for p in self.points]
+
+
+@dataclass
+class SweepResult:
+    """All series of one figure, plus labels for presentation."""
+
+    figure: str
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def new_series(self, label: str) -> Series:
+        s = Series(label)
+        self.series.append(s)
+        return s
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    # -- presentation -------------------------------------------------------
+
+    def format_table(self) -> str:
+        """Render the figure as an aligned text table (x rows, series columns)."""
+        xs = sorted({p.x for s in self.series for p in s.points})
+        by = {
+            s.label: {p.x: p.y for p in s.points}
+            for s in self.series
+        }
+        head = [self.x_label] + [s.label for s in self.series]
+        rows = [head]
+        for x in xs:
+            row = [_fmt_x(x)]
+            for s in self.series:
+                y = by[s.label].get(x)
+                row.append("-" if y is None else format_rate(y))
+            rows.append(row)
+        widths = [max(len(r[i]) for r in rows) for i in range(len(head))]
+        lines = [
+            f"{self.figure}: {self.title}",
+            f"  ({self.y_label})",
+        ]
+        for i, row in enumerate(rows):
+            lines.append("  " + "  ".join(c.rjust(w) for c, w in zip(row, widths)))
+            if i == 0:
+                lines.append("  " + "-" * (sum(widths) + 2 * (len(widths) - 1)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (used to archive experiment outputs)."""
+        return {
+            "figure": self.figure,
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "series": [
+                {
+                    "label": s.label,
+                    "points": [
+                        {"x": p.x, "y": p.y, **({"extra": p.extra} if p.extra else {})}
+                        for p in s.points
+                    ],
+                }
+                for s in self.series
+            ],
+            "notes": self.notes,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+
+def _fmt_x(x: float) -> str:
+    return str(int(x)) if float(x).is_integer() else f"{x:g}"
+
+
+def format_rate(y: float) -> str:
+    """Human-scale number: speedups keep decimals, rates round to integers."""
+    if y == 0:
+        return "0"
+    if abs(y) < 100:
+        return f"{y:.2f}"
+    return f"{y:,.0f}"
+
+
+def run_series(
+    result: SweepResult,
+    label: str,
+    xs: Iterable[float],
+    measure: Callable[[float], tuple[float, dict]],
+) -> Series:
+    """Measure ``xs`` points into a new series of ``result``.
+
+    ``measure(x)`` returns ``(y, extras)``.
+    """
+    series = result.new_series(label)
+    for x in xs:
+        y, extra = measure(x)
+        series.add(x, y, **extra)
+    return series

@@ -1,0 +1,57 @@
+"""Plain-text plots of benchmark series (no plotting dependencies).
+
+Renders a :class:`~repro.bench.harness.SweepResult` as an ASCII scatter
+chart whose shape is directly comparable to the paper's figures.  Each
+series is drawn with its own marker; shared points get ``*``.
+
+    python -m repro.bench fig5 --plot
+"""
+
+from __future__ import annotations
+
+from .harness import SweepResult
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+#@%&$"
+
+
+def ascii_plot(result: SweepResult, width: int = 64, height: int = 18) -> str:
+    """Render ``result`` as a text chart of ``width`` x ``height`` cells."""
+    points = [(s.label, p.x, p.y) for s in result.series for p in s.points]
+    if not points:
+        return f"{result.figure}: (no data)"
+    xs = [p[1] for p in points]
+    ys = [p[2] for p in points]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = 0.0, max(ys) * 1.05 or 1.0
+    xspan = (x1 - x0) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = {s.label: _MARKERS[i % len(_MARKERS)]
+               for i, s in enumerate(result.series)}
+    for label, x, y in points:
+        col = int((x - x0) / xspan * (width - 1))
+        row = height - 1 - int((y - y0) / (y1 - y0) * (height - 1))
+        row = min(max(row, 0), height - 1)
+        cell = grid[row][col]
+        grid[row][col] = markers[label] if cell in (" ", markers[label]) else "*"
+
+    lines = [f"{result.figure}: {result.title}"]
+    for i, row in enumerate(grid):
+        if i == 0:
+            ylab = f"{y1:,.0f}" if y1 >= 100 else f"{y1:.2f}"
+        elif i == height - 1:
+            ylab = f"{y0:,.0f}" if y1 >= 100 else f"{y0:.2f}"
+        else:
+            ylab = ""
+        lines.append(f"{ylab:>10} |{''.join(row)}|")
+    x0lab = f"{x0:g}"
+    x1lab = f"{x1:g}"
+    pad = width - len(x0lab) - len(x1lab)
+    lines.append(" " * 11 + "+" + "-" * width + "+")
+    lines.append(" " * 12 + x0lab + " " * max(1, pad) + x1lab)
+    lines.append(" " * 12 + f"({result.x_label})")
+    legend = "  ".join(f"{m}={label}" for label, m in markers.items())
+    lines.append(f"  legend: {legend}   (* = overlap)")
+    return "\n".join(lines)

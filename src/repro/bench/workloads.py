@@ -1,0 +1,284 @@
+"""The paper's four synthetic benchmark programs (§4).
+
+Each function builds the worker set for one benchmark, runs it on a
+:class:`~repro.runtime.sim.SimRuntime` (the simulated Balance 21000) and
+returns measured throughput in bytes/second of *simulated* time — the
+same metric the paper plots:
+
+* :func:`base_throughput` — Figure 3: one process loop-back, alternating
+  ``message_send`` / ``message_receive`` of fixed-length messages.
+* :func:`fcfs_throughput` — Figure 4: one sender, N FCFS receivers;
+  throughput counts each payload once (one receiver consumes it).
+* :func:`broadcast_throughput` — Figure 5: one sender, N BROADCAST
+  receivers; throughput counts each payload N times (every receiver
+  copies it), the paper's "effective throughput".
+* :func:`random_throughput` — Figure 6: P fully connected processes,
+  each with its own FCFS mailbox circuit; each process repeatedly sends
+  a fixed-length message to a randomly selected peer and then drains its
+  own mailbox.
+
+Timing windows exclude setup: workers synchronize on a barrier, record
+``env.now()``, run the measured phase, and record ``env.now()`` again;
+the throughput denominator is ``max(end) - min(start)`` across workers.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass
+
+from ..core.costmodel import Costs, DEFAULT_COSTS
+from ..core.layout import MPFConfig
+from ..core.protocol import BROADCAST, FCFS
+from ..machine.balance import BALANCE_21000, MachineConfig
+from ..patterns import barrier
+from ..runtime.base import Env, RunResult
+from ..runtime.sim import SimRuntime
+
+__all__ = [
+    "Measurement",
+    "base_throughput",
+    "fcfs_throughput",
+    "broadcast_throughput",
+    "random_throughput",
+]
+
+#: Message type markers for the random benchmark (first payload byte).
+_DATA, _DONE = 0x01, 0x02
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One benchmark point."""
+
+    #: Payload bytes counted toward throughput.
+    payload_bytes: int
+    #: Simulated seconds of the measured window.
+    window: float
+    #: The full run result (machine report, header stats).
+    run: RunResult
+
+    @property
+    def throughput(self) -> float:
+        """Bytes per simulated second."""
+        return self.payload_bytes / self.window if self.window > 0 else 0.0
+
+
+def _window(result: RunResult) -> float:
+    spans = [v for v in result.results.values() if isinstance(v, tuple)]
+    start = min(t0 for t0, _ in spans)
+    end = max(t1 for _, t1 in spans)
+    return end - start
+
+
+def _sim(machine: MachineConfig, costs: Costs) -> SimRuntime:
+    return SimRuntime(machine=machine)
+
+
+def base_throughput(
+    length: int,
+    messages: int = 64,
+    machine: MachineConfig = BALANCE_21000,
+    costs: Costs = DEFAULT_COSTS,
+) -> Measurement:
+    """Figure 3's `base` program: single-process loop-back throughput.
+
+    "a simple program, base, that establishes a loop-back connection
+    through an LNVC for a single process, and then alternates between
+    sending and receiving fixed-length messages."
+    """
+    payload = bytes([0xA5]) * length
+
+    def worker(env: Env):
+        sid = yield from env.open_send("loop")
+        rid = yield from env.open_receive("loop", FCFS)
+        t0 = env.now()
+        for _ in range(messages):
+            yield from env.message_send(sid, payload)
+            got = yield from env.message_receive(rid)
+            assert len(got) == length
+        t1 = env.now()
+        yield from env.close_send(sid)
+        yield from env.close_receive(rid)
+        return (t0, t1)
+
+    cfg = MPFConfig(max_lnvcs=4, max_processes=2,
+                    max_messages=16, message_pool_bytes=1 << 18)
+    result = _sim(machine, costs).run([worker], cfg=cfg, costs=costs)
+    return Measurement(messages * length, _window(result), result)
+
+
+def fcfs_throughput(
+    n_receivers: int,
+    length: int,
+    messages: int = 96,
+    machine: MachineConfig = BALANCE_21000,
+    costs: Costs = DEFAULT_COSTS,
+) -> Measurement:
+    """Figure 4's `fcfs` program: one sender, N FCFS receivers.
+
+    "The program fcfs uses one process to send messages of length K to an
+    LNVC with N FCFS receiving processes."  Each payload is consumed by
+    exactly one receiver, so total throughput is bounded by the sender's
+    transmission rate; small messages *lose* throughput as receivers are
+    added because the woken receivers' lock traffic delays the sender.
+    """
+    n = n_receivers
+    payload = bytes(0x5A for _ in range(length))
+    stop = bytes([0x00]) * max(1, length)  # sentinel, same length
+
+    def sender(env: Env):
+        cid = yield from env.open_send("pipe")
+        yield from barrier(env, "go", n + 1)
+        t0 = env.now()
+        for _ in range(messages):
+            yield from env.message_send(cid, payload)
+        for _ in range(n):
+            yield from env.message_send(cid, stop)
+        t1 = env.now()
+        yield from barrier(env, "done", n + 1)
+        yield from env.close_send(cid)
+        return (t0, t1)
+
+    def receiver(env: Env):
+        cid = yield from env.open_receive("pipe", FCFS)
+        yield from barrier(env, "go", n + 1)
+        t0 = env.now()
+        while True:
+            got = yield from env.message_receive(cid)
+            if got == stop:
+                break
+        t1 = env.now()
+        yield from barrier(env, "done", n + 1)
+        yield from env.close_receive(cid)
+        return (t0, t1)
+
+    cfg = MPFConfig(
+        max_lnvcs=16,
+        max_processes=n + 1,
+        max_messages=max(256, messages + n + 8),
+        message_pool_bytes=max(1 << 18, 2 * (messages + n) * (length + 16)),
+    )
+    result = _sim(machine, costs).run([sender] + [receiver] * n, cfg=cfg, costs=costs)
+    return Measurement(messages * length, _window(result), result)
+
+
+def broadcast_throughput(
+    n_receivers: int,
+    length: int,
+    messages: int = 96,
+    machine: MachineConfig = BALANCE_21000,
+    costs: Costs = DEFAULT_COSTS,
+) -> Measurement:
+    """Figure 5's `broadcast` program: one sender, N BROADCAST receivers.
+
+    "all message receivers obtain a copy of each message.  Thus, by
+    allowing the receiver processes to copy messages concurrently, higher
+    throughputs can be achieved."  Throughput counts every delivered
+    copy: N × messages × length bytes over the window.
+    """
+    n = n_receivers
+    payload = bytes(0x3C for _ in range(length))
+
+    def sender(env: Env):
+        cid = yield from env.open_send("wave")
+        yield from barrier(env, "go", n + 1)
+        t0 = env.now()
+        for _ in range(messages):
+            yield from env.message_send(cid, payload)
+        t1 = env.now()
+        yield from barrier(env, "done", n + 1)
+        yield from env.close_send(cid)
+        return (t0, t1)
+
+    def receiver(env: Env):
+        cid = yield from env.open_receive("wave", BROADCAST)
+        yield from barrier(env, "go", n + 1)
+        t0 = env.now()
+        for _ in range(messages):
+            got = yield from env.message_receive(cid)
+            assert len(got) == length
+        t1 = env.now()
+        yield from barrier(env, "done", n + 1)
+        yield from env.close_receive(cid)
+        return (t0, t1)
+
+    cfg = MPFConfig(
+        max_lnvcs=16,
+        max_processes=n + 1,
+        max_messages=max(256, messages + 8),
+        message_pool_bytes=max(1 << 18, 2 * messages * (length + 16)),
+    )
+    result = _sim(machine, costs).run([sender] + [receiver] * n, cfg=cfg, costs=costs)
+    return Measurement(n * messages * length, _window(result), result)
+
+
+def random_throughput(
+    n_processes: int,
+    length: int,
+    messages: int = 48,
+    machine: MachineConfig = BALANCE_21000,
+    costs: Costs = DEFAULT_COSTS,
+    seed: int = 1987,
+) -> Measurement:
+    """Figure 6's `random` program: fully connected random traffic.
+
+    "The communications pattern is fully-connected with a FCFS LNVC
+    defined for each destination process. ... each process sends a
+    specified number of fixed-length messages; destinations are selected
+    randomly.  Each time a process executes a message_send(), it then
+    receives all messages that are queued in its LNVC."
+
+    Every process owns one FCFS mailbox circuit and holds open send
+    connections to all others.  Destination choice uses a per-process
+    seeded PRNG so the simulation stays deterministic.  After its quota a
+    process floods a DONE marker to every mailbox and drains its own
+    mailbox until all peers' markers arrived.  Throughput counts data
+    payloads only.
+    """
+    p = n_processes
+    if p < 2:
+        raise ValueError("random benchmark needs at least 2 processes")
+    body = bytes([_DATA]) + bytes(0x77 for _ in range(length - 1))
+    done = bytes([_DONE]) + bytes(length - 1)
+
+    def worker(env: Env):
+        rng = _random.Random(seed * 7919 + env.rank)
+        mine = yield from env.open_receive(f"mbox.{env.rank}", FCFS)
+        outs = {}
+        for dest in range(p):
+            if dest != env.rank:
+                outs[dest] = yield from env.open_send(f"mbox.{dest}")
+        yield from barrier(env, "go", p)
+        t0 = env.now()
+        dones = 0
+        for _ in range(messages):
+            dest = rng.randrange(p - 1)
+            if dest >= env.rank:
+                dest += 1
+            yield from env.message_send(outs[dest], body)
+            while (yield from env.check_receive(mine)):
+                got = yield from env.message_receive(mine)
+                if got[0] == _DONE:
+                    dones += 1
+        for dest, cid in outs.items():
+            yield from env.message_send(cid, done)
+        while dones < p - 1:
+            got = yield from env.message_receive(mine)
+            if got[0] == _DONE:
+                dones += 1
+        t1 = env.now()
+        yield from barrier(env, "bye", p)
+        for cid in outs.values():
+            yield from env.close_send(cid)
+        yield from env.close_receive(mine)
+        return (t0, t1)
+
+    cfg = MPFConfig(
+        max_lnvcs=2 * p + 8,
+        max_processes=p,
+        max_messages=max(512, p * messages + p * p + 16),
+        message_pool_bytes=max(1 << 19, 2 * p * messages * (length + 16)),
+    )
+    result = _sim(machine, costs).run([worker] * p, cfg=cfg, costs=costs)
+    return Measurement(p * messages * length, _window(result), result)

@@ -1,0 +1,126 @@
+"""Instruction-count model of the 1987 C implementation.
+
+The primitives in :mod:`repro.core.ops` describe their own cost in
+*instructions* of the paper's target CPU (a 10 MHz National Semiconductor
+NS32032, roughly 1 MIPS on this kind of pointer-chasing C code).  The
+constants below are the per-activity instruction budgets; converting
+instructions to seconds is the simulated machine's job
+(:class:`repro.machine.cpu.CpuModel`).
+
+Calibration
+-----------
+The constants were fit to the paper's measured curves (see EXPERIMENTS.md
+for the resulting paper-vs-measured comparison):
+
+* The **asymptote** of the base benchmark (Figure 3, ≈22–25 KB/s) pins the
+  marginal per-byte cost.  With 10-byte blocks a round trip moves each
+  byte twice (user buffer → blocks → user buffer) and manipulates
+  ``2·L/10`` blocks, so per-block costs dominate:
+  ``blk_alloc + blk_fill + blk_drain + blk_free + 2·10·copy_byte`` ≈ 380
+  instructions per block ⇒ ≈38 µs per payload byte ⇒ ≈26 KB/s ceiling.
+* The **curvature** of Figure 3 (throughput still rising at 1–2 KB
+  messages) pins the fixed per-primitive cost at several thousand
+  instructions — the 1987 library call, descriptor search, queue update
+  and lock traffic.
+* The FCFS plateau of Figure 4 (~45 KB/s at 1024 B) follows from the
+  sender-side share of the same constants, and the broadcast ceiling of
+  Figure 5 (687,245 B/s at 16×1024 B) from receive copies overlapping.
+
+The numbers are *model parameters*, not measurements of this Python code;
+they are deliberately kept in one frozen dataclass so ablations can vary
+them (see ``repro.bench.figures`` ablation entries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["Costs", "DEFAULT_COSTS", "free_costs"]
+
+
+@dataclass(frozen=True, slots=True)
+class Costs:
+    """Instruction budgets for every activity of the MPF implementation."""
+
+    # -- synchronization ---------------------------------------------------
+    #: Successful lock acquisition (uninterlocked path).
+    lock_acquire: int = 25
+    #: Lock release.
+    lock_release: int = 15
+    #: Executing a wake on a channel (scan + unblock).
+    wake: int = 60
+    #: Charged to a woken process when it resumes (context switch + recheck).
+    waiter_wakeup: int = 120
+
+    # -- fixed per-primitive overhead ---------------------------------------
+    #: ``open_send``/``open_receive``: name hash, table search framing,
+    #: descriptor setup.
+    open_fixed: int = 900
+    #: ``close_send``/``close_receive`` framing.
+    close_fixed: int = 900
+    #: ``message_send`` fixed path (call, validation, queue bookkeeping).
+    send_fixed: int = 3500
+    #: ``message_receive`` fixed path.
+    recv_fixed: int = 3000
+    #: ``check_receive`` fixed path.
+    check_fixed: int = 250
+
+    # -- per message block --------------------------------------------------
+    # The split between the allocation constants (charged *inside* the
+    # allocator lock) and the fill/drain constants (charged outside every
+    # lock) matters: only the former serialize the whole facility.  A
+    # free-list pop is a couple of loads and a store; the expensive part
+    # of block handling is the copy loop, which runs unlocked.
+    #: Pop one block from the shared free list (under ALLOC_LOCK).
+    blk_alloc: int = 15
+    #: Push one block back (under ALLOC_LOCK).
+    blk_free: int = 10
+    #: Loop/linkage overhead to fill one block on send (no lock held).
+    blk_fill: int = 155
+    #: Loop/linkage overhead to drain one block on receive (no lock held).
+    blk_drain: int = 145
+    #: Per payload byte moved (each direction).
+    copy_byte: int = 2
+
+    # -- list manipulation --------------------------------------------------
+    #: Per element examined in any linked-list or table walk.
+    list_step: int = 12
+    #: Linking a message at the FIFO tail + head-pointer updates.
+    msg_link: int = 150
+    #: Retirement bookkeeping per message at receive completion.
+    msg_retire: int = 80
+    #: Per message discarded when a circuit is deleted or reaped.
+    msg_discard: int = 60
+
+    def scaled(self, factor: float) -> "Costs":
+        """Return a copy with every budget multiplied by ``factor``.
+
+        Used by ablation benchmarks to explore a faster or slower
+        implementation without touching individual constants.
+        """
+        kwargs = {
+            f: max(0, int(round(getattr(self, f) * factor)))
+            for f in self.__dataclass_fields__
+        }
+        return Costs(**kwargs)
+
+
+#: The calibrated default model.
+DEFAULT_COSTS = Costs()
+
+
+def free_costs() -> Costs:
+    """A zero-cost model: every budget is 0.
+
+    Real runtimes do not price instruction budgets at all, but tests use
+    this to assert that op *logic* never depends on cost constants.
+    """
+    return Costs(**{f: 0 for f in Costs.__dataclass_fields__})
+
+
+def costs_with(**overrides: int) -> Costs:
+    """The default model with selected budgets overridden."""
+    return replace(DEFAULT_COSTS, **overrides)
+
+
+__all__.append("costs_with")

@@ -1,0 +1,72 @@
+"""Intrusive free lists over fixed-size slots in the shared region.
+
+Paper §3.1: "During MPF initialization, a free list of linked message
+blocks is created in shared memory. ... Like message blocks, LNVC, send,
+and receive descriptors are linked into free lists when not in use."
+
+Each pool is a contiguous run of equally sized records.  While a record is
+free, its *first* 32-bit word is reused as the link to the next free record
+(records carry no meaning when free, so this aliasing is safe — the same
+trick the C implementation plays with its ``next`` pointers).  The head of
+each free list is itself a u32 cell inside the segment header, so forked
+processes see one shared allocator state.
+
+Free-list operations are **not** internally synchronized; callers hold the
+segment's allocation lock (``ALLOC_LOCK``), mirroring the paper's
+"synchronization variables are initialized for exclusive access to internal
+data structures".
+"""
+
+from __future__ import annotations
+
+from .protocol import NIL
+from .region import SharedRegion
+
+__all__ = ["init_freelist", "fl_alloc", "fl_free", "fl_count"]
+
+
+def init_freelist(region: SharedRegion, head_off: int, base: int, stride: int, count: int) -> None:
+    """Thread ``count`` records of ``stride`` bytes starting at ``base``.
+
+    Leaves the list head (stored at ``head_off``) pointing at ``base`` and
+    links the records in address order; an empty pool (``count == 0``)
+    leaves the head ``NIL``.
+    """
+    if count <= 0:
+        region.set_u32(head_off, NIL)
+        return
+    for i in range(count - 1):
+        region.set_u32(base + i * stride, base + (i + 1) * stride)
+    region.set_u32(base + (count - 1) * stride, NIL)
+    region.set_u32(head_off, base)
+
+
+def fl_alloc(region: SharedRegion, head_off: int) -> int:
+    """Pop one record; returns its byte offset, or ``NIL`` if exhausted."""
+    head = region.u32(head_off)
+    if head == NIL:
+        return NIL
+    region.set_u32(head_off, region.u32(head))
+    return head
+
+
+def fl_free(region: SharedRegion, head_off: int, off: int) -> None:
+    """Push the record at ``off`` back onto the free list."""
+    region.set_u32(off, region.u32(head_off))
+    region.set_u32(head_off, off)
+
+
+def fl_count(region: SharedRegion, head_off: int, limit: int = 1 << 32) -> int:
+    """Walk the list and count free records (diagnostics and tests only).
+
+    ``limit`` bounds the walk so a corrupted (cyclic) list raises instead
+    of hanging.
+    """
+    n = 0
+    off = region.u32(head_off)
+    while off != NIL:
+        n += 1
+        if n > limit:
+            raise RuntimeError("free list cycle detected")
+        off = region.u32(off)
+    return n

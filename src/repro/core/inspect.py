@@ -1,0 +1,208 @@
+"""Segment inspection: structured dumps of live MPF state.
+
+A deployed MPF application (threads, forked processes, or independent
+processes attached to a named segment) sometimes needs to answer "what
+is in there right now?" — which conversations exist, who is connected,
+how deep the queues are, how much of each pool is left.  This module
+walks the shared structures read-only and reports.
+
+Consistency caveat: the walk takes no locks (it must be usable from a
+diagnostic process that does not participate in the protocol), so on a
+*running* system the snapshot can be torn, exactly as a debugger's view
+of the paper's C structures would be.  On a quiescent segment it is
+exact; tests use it that way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .freelist import fl_count
+from .layout import HDR
+from .ops import MPFView, encode_lnvc_id
+from .protocol import NIL, MsgFlags, Protocol
+from .structs import LNVC, MSG, RECV, SEND
+
+__all__ = ["MessageInfo", "ConnectionInfo", "CircuitInfo", "SegmentInfo",
+           "inspect_segment", "render_segment"]
+
+
+@dataclass(frozen=True)
+class MessageInfo:
+    """One queued message."""
+
+    seqno: int
+    length: int
+    nblocks: int
+    sender: int
+    flags: MsgFlags
+    bcast_pending: int
+
+
+@dataclass(frozen=True)
+class ConnectionInfo:
+    """One send or receive connection."""
+
+    pid: int
+    kind: str               # "send" | "recv"
+    protocol: Protocol | None  # receive connections only
+    reads: int = 0
+    #: Messages this BROADCAST receiver has not yet read (None for FCFS).
+    backlog: int | None = None
+
+
+@dataclass(frozen=True)
+class CircuitInfo:
+    """One live LNVC."""
+
+    lnvc_id: int
+    name: str
+    n_senders: int
+    n_fcfs: int
+    n_bcast: int
+    queued: int
+    total_enqueued: int
+    #: Deepest the FIFO has ever been (the Figure 6 memory-pressure signal).
+    peak_queued: int
+    messages: list[MessageInfo] = field(default_factory=list)
+    connections: list[ConnectionInfo] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class SegmentInfo:
+    """The whole segment."""
+
+    circuits: list[CircuitInfo]
+    live_msgs: int
+    live_blocks: int
+    live_bytes: int
+    free_send: int
+    free_recv: int
+    free_msg: int
+    free_blk: int
+    total_sends: int
+    total_receives: int
+
+    def circuit(self, name: str) -> CircuitInfo:
+        """The circuit called ``name`` (raises ``KeyError`` if absent)."""
+        for c in self.circuits:
+            if c.name == name:
+                return c
+        raise KeyError(name)
+
+
+def _walk_messages(view: MPFView, base: int) -> list[MessageInfo]:
+    r = view.region
+    out = []
+    msg = LNVC.get(r, base, "fifo_head")
+    while msg != NIL:
+        out.append(
+            MessageInfo(
+                seqno=MSG.get(r, msg, "seqno"),
+                length=MSG.get(r, msg, "length"),
+                nblocks=MSG.get(r, msg, "nblocks"),
+                sender=MSG.get(r, msg, "sender"),
+                flags=MsgFlags(MSG.get(r, msg, "flags")),
+                bcast_pending=MSG.get(r, msg, "bcast_pending"),
+            )
+        )
+        msg = MSG.get(r, msg, "next_msg")
+    return out
+
+
+def _walk_connections(view: MPFView, base: int) -> list[ConnectionInfo]:
+    r = view.region
+    out = []
+    desc = LNVC.get(r, base, "send_list")
+    while desc != NIL:
+        out.append(ConnectionInfo(pid=SEND.get(r, desc, "pid"), kind="send",
+                                  protocol=None))
+        desc = SEND.get(r, desc, "next")
+    desc = LNVC.get(r, base, "recv_list")
+    while desc != NIL:
+        proto = Protocol(RECV.get(r, desc, "proto"))
+        backlog = None
+        if proto is Protocol.BROADCAST:
+            backlog = 0
+            msg = RECV.get(r, desc, "head")
+            while msg != NIL:
+                backlog += 1
+                msg = MSG.get(r, msg, "next_msg")
+        out.append(
+            ConnectionInfo(
+                pid=RECV.get(r, desc, "pid"),
+                kind="recv",
+                protocol=proto,
+                reads=RECV.get(r, desc, "nreads"),
+                backlog=backlog,
+            )
+        )
+        desc = RECV.get(r, desc, "next")
+    return out
+
+
+def inspect_segment(view: MPFView) -> SegmentInfo:
+    """Walk the segment read-only and return its structured state."""
+    r = view.region
+    circuits = []
+    for slot in range(view.cfg.max_lnvcs):
+        base = view.layout.lnvc_off(slot)
+        if not LNVC.get(r, base, "in_use"):
+            continue
+        circuits.append(
+            CircuitInfo(
+                lnvc_id=encode_lnvc_id(slot, LNVC.get(r, base, "gen")),
+                name=view.read_name(slot).decode("utf-8", "replace"),
+                n_senders=LNVC.get(r, base, "n_senders"),
+                n_fcfs=LNVC.get(r, base, "n_fcfs"),
+                n_bcast=LNVC.get(r, base, "n_bcast"),
+                queued=LNVC.get(r, base, "nmsgs"),
+                total_enqueued=LNVC.get(r, base, "seq"),
+                peak_queued=LNVC.get(r, base, "hwm_nmsgs"),
+                messages=_walk_messages(view, base),
+                connections=_walk_connections(view, base),
+            )
+        )
+    return SegmentInfo(
+        circuits=circuits,
+        live_msgs=HDR.get(r, "live_msgs"),
+        live_blocks=HDR.get(r, "live_blocks"),
+        live_bytes=HDR.get(r, "live_bytes"),
+        free_send=fl_count(r, HDR.u32["free_send"]),
+        free_recv=fl_count(r, HDR.u32["free_recv"]),
+        free_msg=fl_count(r, HDR.u32["free_msg"]),
+        free_blk=fl_count(r, HDR.u32["free_blk"]),
+        total_sends=HDR.get(r, "total_sends"),
+        total_receives=HDR.get(r, "total_receives"),
+    )
+
+
+def render_segment(info: SegmentInfo) -> str:
+    """Human-readable report of a :class:`SegmentInfo`."""
+    lines = [
+        f"segment: {len(info.circuits)} live circuit(s), "
+        f"{info.live_msgs} queued message(s), {info.live_bytes} payload bytes",
+        f"  pools free: send={info.free_send} recv={info.free_recv} "
+        f"msg={info.free_msg} blk={info.free_blk}",
+        f"  traffic: {info.total_sends} sends, {info.total_receives} receives",
+    ]
+    for c in info.circuits:
+        lines.append(
+            f"  circuit '{c.name}' (id {c.lnvc_id}): "
+            f"{c.n_senders} sender(s), {c.n_fcfs} FCFS, {c.n_bcast} BCAST; "
+            f"{c.queued} queued of {c.total_enqueued} ever (peak {c.peak_queued})"
+        )
+        for conn in c.connections:
+            extra = ""
+            if conn.kind == "recv":
+                extra = f" {conn.protocol.name}, {conn.reads} reads"
+                if conn.backlog is not None:
+                    extra += f", backlog {conn.backlog}"
+            lines.append(f"    {conn.kind} pid={conn.pid}{extra}")
+        for m in c.messages:
+            lines.append(
+                f"    msg #{m.seqno}: {m.length}B in {m.nblocks} block(s) "
+                f"from pid {m.sender}, pending {m.bcast_pending}, "
+                f"flags {m.flags.name or int(m.flags)}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,884 @@
+"""The eight MPF primitives, written once as effect-yielding generators.
+
+This module is the reproduction of the paper's contribution: the LNVC
+(logical, named virtual circuit) message-passing primitives of §2,
+implemented over the shared-segment data structures of §3.1 with the
+close/retirement semantics of §3.2.
+
+Every primitive is a generator over :mod:`repro.core.effects` objects.  A
+runtime drives the generator, interpreting each effect (lock, unlock,
+charge simulated time, sleep, wake); the generator's return value is the
+primitive's result.  Data-structure mutation happens inline — the shared
+region is visible to all runtimes identically — so the primitives contain
+the *entire* algorithm and the runtimes contain only "shared memory
+allocation and synchronization", the paper's definition of the system
+dependent part.
+
+Locking discipline (deadlock-free by global order):
+
+1. ``GLOBAL_LOCK`` — only for open/close (name-table structure),
+2. the per-circuit lock ``FIRST_LNVC_LOCK + slot``,
+3. ``ALLOC_LOCK`` — free lists, always innermost.
+
+Payload copies (block fill on send, block drain on receive) happen
+*outside* the circuit lock.  This is the property that lets BROADCAST
+receivers copy the same message concurrently and produces Figure 5's
+near-linear scaling ("by allowing the receiver processes to copy messages
+concurrently, higher throughputs can be achieved").
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable
+
+from .costmodel import DEFAULT_COSTS, Costs
+from .effects import Acquire, Charge, Effect, Release, WaitOn, Wake
+from .errors import (
+    BufferOverflowError,
+    DuplicateConnectionError,
+    MPFNameError,
+    NoFreeLNVCError,
+    NotConnectedError,
+    OutOfDescriptorsError,
+    OutOfMessageMemoryError,
+    ProtocolViolationError,
+    UnknownLNVCError,
+)
+from .freelist import fl_alloc, fl_free
+from .layout import HDR, MPFConfig, SegmentLayout
+from .protocol import (
+    ALLOC_LOCK,
+    FIRST_LNVC_LOCK,
+    GLOBAL_LOCK,
+    NAME_MAX,
+    NIL,
+    MsgFlags,
+    Protocol,
+)
+from .region import SharedRegion
+from .structs import BLK_NEXT, LNVC, MSG, RECV, SEND
+from .work import Work
+
+__all__ = [
+    "MPFView",
+    "open_send",
+    "open_receive",
+    "close_send",
+    "close_receive",
+    "message_send",
+    "message_receive",
+    "check_receive",
+    "encode_lnvc_id",
+    "decode_lnvc_id",
+    "SLOT_BITS",
+]
+
+OpGen = Generator[Effect, None, object]
+
+#: Bits of an LNVC identifier that address the table slot; the remaining
+#: high bits carry the slot's generation so identifiers from a deleted
+#: circuit are detected instead of silently aliasing a new one.
+SLOT_BITS = 10
+_SLOT_MASK = (1 << SLOT_BITS) - 1
+
+
+def encode_lnvc_id(slot: int, gen: int) -> int:
+    """Pack a table slot and its generation into a public identifier."""
+    return (gen << SLOT_BITS) | slot
+
+
+def decode_lnvc_id(lnvc_id: int) -> tuple[int, int]:
+    """Unpack a public identifier into ``(slot, generation)``."""
+    return lnvc_id & _SLOT_MASK, lnvc_id >> SLOT_BITS
+
+
+class MPFView:
+    """A formatted segment plus its layout and cost model.
+
+    One view is shared by every process of a program (the paper's mapped
+    region); it is immutable and carries no per-process state.
+    """
+
+    __slots__ = ("region", "layout", "cfg", "costs")
+
+    def __init__(
+        self,
+        region: SharedRegion,
+        layout: SegmentLayout,
+        costs: Costs = DEFAULT_COSTS,
+    ) -> None:
+        self.region = region
+        self.layout = layout
+        self.cfg: MPFConfig = layout.cfg
+        self.costs = costs
+
+    # -- names -------------------------------------------------------------
+
+    @staticmethod
+    def encode_name(name: str) -> bytes:
+        """Validate and UTF-8 encode an LNVC name."""
+        if not isinstance(name, str) or not name:
+            raise MPFNameError("LNVC name must be a non-empty string")
+        data = name.encode("utf-8")
+        if len(data) > NAME_MAX:
+            raise MPFNameError(f"LNVC name exceeds {NAME_MAX} bytes")
+        return data
+
+    def read_name(self, slot: int) -> bytes:
+        base = self.layout.lnvc_off(slot)
+        n = LNVC.get(self.region, base, "name_len")
+        return self.region.read(base + LNVC.tail_off, n)
+
+    def write_name(self, slot: int, data: bytes) -> None:
+        base = self.layout.lnvc_off(slot)
+        LNVC.set(self.region, base, "name_len", len(data))
+        self.region.write(base + LNVC.tail_off, data)
+
+    # -- addressing ---------------------------------------------------------
+
+    def lnvc_lock(self, slot: int) -> int:
+        """Lock index guarding LNVC table slot ``slot``."""
+        return FIRST_LNVC_LOCK + slot
+
+    def resolve(self, lnvc_id: int) -> int:
+        """Map a public identifier to a live slot or raise.
+
+        Caller must hold either the global lock or the slot's lock.
+        """
+        slot, gen = decode_lnvc_id(lnvc_id)
+        if slot >= self.cfg.max_lnvcs:
+            raise UnknownLNVCError(f"lnvc id {lnvc_id}: no such slot")
+        base = self.layout.lnvc_off(slot)
+        if not LNVC.get(self.region, base, "in_use"):
+            raise UnknownLNVCError(f"lnvc id {lnvc_id}: circuit deleted")
+        if LNVC.get(self.region, base, "gen") != gen:
+            raise UnknownLNVCError(f"lnvc id {lnvc_id}: stale generation")
+        return slot
+
+    # -- table search (caller holds GLOBAL_LOCK) ----------------------------
+
+    def find_by_name(self, data: bytes) -> tuple[int | None, int]:
+        """Scan the table for a live circuit named ``data``.
+
+        Returns ``(slot_or_None, slots_examined)``; the examination count
+        feeds the cost model.
+        """
+        r, lay = self.region, self.layout
+        steps = 0
+        for slot in range(self.cfg.max_lnvcs):
+            steps += 1
+            base = lay.lnvc_off(slot)
+            if LNVC.get(r, base, "in_use") and self.read_name(slot) == data:
+                return slot, steps
+        return None, steps
+
+    def find_free_slot(self) -> tuple[int | None, int]:
+        """Scan for an unused table slot; returns ``(slot_or_None, steps)``."""
+        r, lay = self.region, self.layout
+        steps = 0
+        for slot in range(self.cfg.max_lnvcs):
+            steps += 1
+            if not LNVC.get(r, lay.lnvc_off(slot), "in_use"):
+                return slot, steps
+        return None, steps
+
+
+# ---------------------------------------------------------------------------
+# internal helpers (all expect the documented locks to be held)
+# ---------------------------------------------------------------------------
+
+
+def _release_and_raise(locks: Iterable[int], exc: Exception) -> OpGen:
+    """Release ``locks`` (outermost last) and raise ``exc``."""
+    for lock in locks:
+        yield Release(lock)
+    raise exc
+
+
+def _find_send(view: MPFView, base: int, pid: int) -> tuple[int, int, int]:
+    """Locate ``pid``'s send descriptor: ``(desc_off|NIL, prev_off|NIL, steps)``."""
+    r = view.region
+    prev, off, steps = NIL, LNVC.get(r, base, "send_list"), 0
+    while off != NIL:
+        steps += 1
+        if SEND.get(r, off, "pid") == pid:
+            return off, prev, steps
+        prev, off = off, SEND.get(r, off, "next")
+    return NIL, NIL, steps
+
+
+def _find_recv(view: MPFView, base: int, pid: int) -> tuple[int, int, int]:
+    """Locate ``pid``'s receive descriptor: ``(desc_off|NIL, prev_off|NIL, steps)``."""
+    r = view.region
+    prev, off, steps = NIL, LNVC.get(r, base, "recv_list"), 0
+    while off != NIL:
+        steps += 1
+        if RECV.get(r, off, "pid") == pid:
+            return off, prev, steps
+        prev, off = off, RECV.get(r, off, "next")
+    return NIL, NIL, steps
+
+
+def _conn_count(view: MPFView, base: int) -> int:
+    r = view.region
+    return (
+        LNVC.get(r, base, "n_senders")
+        + LNVC.get(r, base, "n_fcfs")
+        + LNVC.get(r, base, "n_bcast")
+    )
+
+
+def _retire_check(view: MPFView, msg: int) -> bool:
+    """Apply the retirement rule to one message header.
+
+    A message retires (becomes reclaimable) when no broadcast receiver
+    still owes it a read, nobody is copying out of it, and its FCFS
+    obligation is discharged: either an FCFS receiver took it, or it never
+    had an FCFS obligation *and* some receiver existed at enqueue time.
+    Messages enqueued into an empty conversation are preserved for a
+    future FCFS joiner (paper §3.2).
+    """
+    r = view.region
+    flags = MsgFlags(MSG.get(r, msg, "flags"))
+    if flags & MsgFlags.RETIRED:
+        return True
+    if MSG.get(r, msg, "bcast_pending") or MSG.get(r, msg, "busy"):
+        return False
+    if flags & MsgFlags.FCFS_TAKEN:
+        pass
+    elif (flags & MsgFlags.HAD_RECEIVERS) and not (flags & MsgFlags.FCFS_EXPECTED):
+        pass
+    else:
+        return False
+    MSG.set(r, msg, "flags", flags | MsgFlags.RETIRED)
+    return True
+
+
+def _free_chain(view: MPFView, msg: int) -> int:
+    """Return a message header and its block chain to the free lists.
+
+    Caller holds ``ALLOC_LOCK``.  Returns the number of blocks freed.
+    """
+    r = view.region
+    nblk = 0
+    blk = MSG.get(r, msg, "first_blk")
+    while blk != NIL:
+        nxt = r.u32(blk + BLK_NEXT)
+        fl_free(r, HDR.u32["free_blk"], blk)
+        blk = nxt
+        nblk += 1
+    length = MSG.get(r, msg, "length")
+    fl_free(r, HDR.u32["free_msg"], msg)
+    HDR.add(r, "live_msgs", -1)
+    HDR.add(r, "live_blocks", -nblk)
+    HDR.add(r, "live_bytes", -length)
+    return nblk
+
+
+def _reap_head(view: MPFView, base: int) -> OpGen:
+    """Unlink and free retired messages at the FIFO head.
+
+    Retirement marks messages lazily; physical reclamation happens here,
+    only from the head, so the singly linked FIFO never needs a backward
+    unlink — our answer to the paper's "particularly vexing" problem.
+    Caller holds the circuit lock.
+    """
+    r = view.region
+    c = view.costs
+    doomed: list[int] = []
+    head = LNVC.get(r, base, "fifo_head")
+    while head != NIL and (MSG.get(r, head, "flags") & MsgFlags.RETIRED):
+        doomed.append(head)
+        head = MSG.get(r, head, "next_msg")
+    if not doomed:
+        return 0
+    LNVC.set(r, base, "fifo_head", head)
+    if head == NIL:
+        LNVC.set(r, base, "fifo_tail", NIL)
+    LNVC.add(r, base, "nmsgs", -len(doomed))
+    # The shared FCFS head can never point *behind* the new physical head:
+    # if it pointed at a reaped message, advance it to the first survivor
+    # that is not FCFS-taken.
+    fcfs = LNVC.get(r, base, "fcfs_head")
+    if fcfs in doomed:
+        LNVC.set(r, base, "fcfs_head", _first_untaken(view, head))
+    nblk = 0
+    yield Acquire(ALLOC_LOCK)
+    for msg in doomed:
+        nblk += _free_chain(view, msg)
+    yield Release(ALLOC_LOCK)
+    yield Charge(
+        Work(instrs=len(doomed) * c.msg_discard + nblk * c.blk_free, label="reap")
+    )
+    return len(doomed)
+
+
+def _first_untaken(view: MPFView, msg: int) -> int:
+    """First message at or after ``msg`` not yet FCFS-taken (or NIL)."""
+    r = view.region
+    while msg != NIL and (MSG.get(r, msg, "flags") & MsgFlags.FCFS_TAKEN):
+        msg = MSG.get(r, msg, "next_msg")
+    return msg
+
+
+def _delete_lnvc(view: MPFView, slot: int) -> OpGen:
+    """Discard a circuit whose last connection just closed.
+
+    Paper §2: "If this is the last process connected to lnvc_id, the LNVC
+    is deleted and all unread messages are discarded."  Caller holds the
+    global lock and the circuit lock.
+    """
+    r = view.region
+    c = view.costs
+    base = view.layout.lnvc_off(slot)
+    msgs: list[int] = []
+    msg = LNVC.get(r, base, "fifo_head")
+    while msg != NIL:
+        msgs.append(msg)
+        msg = MSG.get(r, msg, "next_msg")
+    nblk = 0
+    if msgs:
+        yield Acquire(ALLOC_LOCK)
+        for m in msgs:
+            nblk += _free_chain(view, m)
+        yield Release(ALLOC_LOCK)
+    gen = LNVC.get(r, base, "gen")
+    LNVC.clear(r, base)
+    LNVC.set(r, base, "gen", (gen + 1) & 0x3FFFFF)
+    LNVC.set(r, base, "fifo_head", NIL)
+    LNVC.set(r, base, "fifo_tail", NIL)
+    LNVC.set(r, base, "fcfs_head", NIL)
+    LNVC.set(r, base, "send_list", NIL)
+    LNVC.set(r, base, "recv_list", NIL)
+    HDR.add(r, "live_lnvcs", -1)
+    yield Charge(
+        Work(
+            instrs=len(msgs) * c.msg_discard + nblk * c.blk_free + c.close_fixed // 2,
+            label="lnvc-delete",
+        )
+    )
+    return len(msgs)
+
+
+def _open_common(view: MPFView, data: bytes) -> OpGen:
+    """Find or create the circuit named ``data`` (pre-encoded); returns its slot.
+
+    Caller holds the global lock.  On failure releases it and raises.
+    """
+    r = view.region
+    c = view.costs
+    slot, steps = view.find_by_name(data)
+    if slot is None:
+        slot, steps2 = view.find_free_slot()
+        steps += steps2
+        if slot is None:
+            yield from _release_and_raise(
+                [GLOBAL_LOCK],
+                NoFreeLNVCError(f"all {view.cfg.max_lnvcs} LNVC slots in use"),
+            )
+        base = view.layout.lnvc_off(slot)
+        gen = LNVC.get(r, base, "gen")
+        LNVC.clear(r, base)
+        LNVC.set(r, base, "gen", gen)
+        LNVC.set(r, base, "in_use", 1)
+        LNVC.set(r, base, "fifo_head", NIL)
+        LNVC.set(r, base, "fifo_tail", NIL)
+        LNVC.set(r, base, "fcfs_head", NIL)
+        LNVC.set(r, base, "send_list", NIL)
+        LNVC.set(r, base, "recv_list", NIL)
+        view.write_name(slot, data)
+        HDR.add(r, "live_lnvcs", 1)
+    yield Charge(Work(instrs=c.open_fixed + steps * c.list_step, label="open"))
+    return slot
+
+
+# ---------------------------------------------------------------------------
+# public primitives
+# ---------------------------------------------------------------------------
+
+
+def open_send(view: MPFView, pid: int, name: str) -> OpGen:
+    """Establish a send connection for ``pid`` on the circuit ``name``.
+
+    Creates the circuit if it does not exist.  Returns the circuit's
+    public identifier for use with :func:`message_send` and
+    :func:`close_send` (paper §2, ``open_send``).
+    """
+    r = view.region
+    c = view.costs
+    data = view.encode_name(name)  # validate before touching any lock
+    yield Acquire(GLOBAL_LOCK)
+    slot = yield from _open_common(view, data)
+    base = view.layout.lnvc_off(slot)
+    lock = view.lnvc_lock(slot)
+    yield Acquire(lock)
+    desc, _, steps = _find_send(view, base, pid)
+    if desc != NIL:
+        yield from _release_and_raise(
+            [lock, GLOBAL_LOCK],
+            DuplicateConnectionError(f"pid {pid} already sends on '{name}'"),
+        )
+    yield Acquire(ALLOC_LOCK)
+    desc = fl_alloc(r, HDR.u32["free_send"])
+    yield Release(ALLOC_LOCK)
+    if desc == NIL:
+        yield from _release_and_raise(
+            [lock, GLOBAL_LOCK],
+            OutOfDescriptorsError("send descriptor pool exhausted"),
+        )
+    SEND.set(r, desc, "pid", pid)
+    SEND.set(r, desc, "next", LNVC.get(r, base, "send_list"))
+    LNVC.set(r, base, "send_list", desc)
+    LNVC.add(r, base, "n_senders", 1)
+    yield Charge(Work(instrs=steps * c.list_step + 4 * c.list_step, label="open_send"))
+    yield Release(lock)
+    yield Release(GLOBAL_LOCK)
+    return encode_lnvc_id(slot, LNVC.get(r, base, "gen"))
+
+
+def open_receive(view: MPFView, pid: int, name: str, protocol: Protocol) -> OpGen:
+    """Establish a receive connection with the given protocol.
+
+    ``protocol`` is :data:`~repro.core.protocol.FCFS` or
+    :data:`~repro.core.protocol.BROADCAST`.  A process may not hold both
+    kinds on one circuit (paper §1 footnote 3).  A BROADCAST connection
+    starts at the current FIFO tail: the receiver hears only messages sent
+    after it joined the conversation.  Returns the circuit identifier.
+    """
+    proto = Protocol(protocol)
+    r = view.region
+    c = view.costs
+    data = view.encode_name(name)  # validate before touching any lock
+    yield Acquire(GLOBAL_LOCK)
+    slot = yield from _open_common(view, data)
+    base = view.layout.lnvc_off(slot)
+    lock = view.lnvc_lock(slot)
+    yield Acquire(lock)
+    desc, _, steps = _find_recv(view, base, pid)
+    if desc != NIL:
+        have = Protocol(RECV.get(r, desc, "proto"))
+        exc: Exception
+        if have == proto:
+            exc = DuplicateConnectionError(
+                f"pid {pid} already receives ({have.name}) on '{name}'"
+            )
+        else:
+            exc = ProtocolViolationError(
+                f"pid {pid} cannot mix FCFS and BROADCAST on '{name}'"
+            )
+        yield from _release_and_raise([lock, GLOBAL_LOCK], exc)
+    yield Acquire(ALLOC_LOCK)
+    desc = fl_alloc(r, HDR.u32["free_recv"])
+    yield Release(ALLOC_LOCK)
+    if desc == NIL:
+        yield from _release_and_raise(
+            [lock, GLOBAL_LOCK],
+            OutOfDescriptorsError("receive descriptor pool exhausted"),
+        )
+    RECV.set(r, desc, "pid", pid)
+    RECV.set(r, desc, "proto", proto)
+    RECV.set(r, desc, "head", NIL)
+    RECV.set(r, desc, "nreads", 0)
+    RECV.set(r, desc, "next", LNVC.get(r, base, "recv_list"))
+    LNVC.set(r, base, "recv_list", desc)
+    LNVC.add(r, base, "n_fcfs" if proto is Protocol.FCFS else "n_bcast", 1)
+    yield Charge(
+        Work(instrs=steps * c.list_step + 4 * c.list_step, label="open_receive")
+    )
+    yield Release(lock)
+    yield Release(GLOBAL_LOCK)
+    return encode_lnvc_id(slot, LNVC.get(r, base, "gen"))
+
+
+def close_send(view: MPFView, pid: int, lnvc_id: int) -> OpGen:
+    """Remove ``pid``'s send connection from the circuit.
+
+    If this was the last connection of any kind, the circuit is deleted
+    and all unread messages are discarded (paper §2).
+    """
+    r = view.region
+    c = view.costs
+    yield Acquire(GLOBAL_LOCK)
+    try:
+        slot = view.resolve(lnvc_id)
+    except UnknownLNVCError as exc:
+        yield from _release_and_raise([GLOBAL_LOCK], exc)
+    base = view.layout.lnvc_off(slot)
+    lock = view.lnvc_lock(slot)
+    yield Acquire(lock)
+    desc, prev, steps = _find_send(view, base, pid)
+    if desc == NIL:
+        yield from _release_and_raise(
+            [lock, GLOBAL_LOCK],
+            NotConnectedError(f"pid {pid} holds no send connection here"),
+        )
+    nxt = SEND.get(r, desc, "next")
+    if prev == NIL:
+        LNVC.set(r, base, "send_list", nxt)
+    else:
+        SEND.set(r, prev, "next", nxt)
+    yield Acquire(ALLOC_LOCK)
+    fl_free(r, HDR.u32["free_send"], desc)
+    yield Release(ALLOC_LOCK)
+    LNVC.add(r, base, "n_senders", -1)
+    yield Charge(Work(instrs=c.close_fixed + steps * c.list_step, label="close_send"))
+    if _conn_count(view, base) == 0:
+        yield from _delete_lnvc(view, slot)
+    yield Release(lock)
+    yield Release(GLOBAL_LOCK)
+    # A receiver blocked on this circuit cannot be woken by future sends
+    # if the circuit was just deleted; it stays blocked, exactly as the C
+    # implementation would leave it.  (The simulator's deadlock detector
+    # surfaces this programming error; see paper §3.2 on lost messages.)
+    return None
+
+
+def close_receive(view: MPFView, pid: int, lnvc_id: int) -> OpGen:
+    """Remove ``pid``'s receive connection from the circuit.
+
+    For a BROADCAST receiver, every message it had not yet read sheds one
+    pending reader — the "particularly vexing" bookkeeping of paper §3.2,
+    done here with per-message counters instead of head-pointer
+    comparisons.  Deletes the circuit if this was the last connection.
+    """
+    r = view.region
+    c = view.costs
+    yield Acquire(GLOBAL_LOCK)
+    try:
+        slot = view.resolve(lnvc_id)
+    except UnknownLNVCError as exc:
+        yield from _release_and_raise([GLOBAL_LOCK], exc)
+    base = view.layout.lnvc_off(slot)
+    lock = view.lnvc_lock(slot)
+    yield Acquire(lock)
+    desc, prev, steps = _find_recv(view, base, pid)
+    if desc == NIL:
+        yield from _release_and_raise(
+            [lock, GLOBAL_LOCK],
+            NotConnectedError(f"pid {pid} holds no receive connection here"),
+        )
+    proto = Protocol(RECV.get(r, desc, "proto"))
+    walked = 0
+    if proto is Protocol.BROADCAST:
+        msg = RECV.get(r, desc, "head")
+        while msg != NIL:
+            MSG.add(r, msg, "bcast_pending", -1)
+            _retire_check(view, msg)
+            msg = MSG.get(r, msg, "next_msg")
+            walked += 1
+        LNVC.add(r, base, "n_bcast", -1)
+    else:
+        LNVC.add(r, base, "n_fcfs", -1)
+    nxt = RECV.get(r, desc, "next")
+    if prev == NIL:
+        LNVC.set(r, base, "recv_list", nxt)
+    else:
+        RECV.set(r, prev, "next", nxt)
+    yield Acquire(ALLOC_LOCK)
+    fl_free(r, HDR.u32["free_recv"], desc)
+    yield Release(ALLOC_LOCK)
+    yield Charge(
+        Work(
+            instrs=c.close_fixed + (steps + walked) * c.list_step,
+            label="close_receive",
+        )
+    )
+    yield from _reap_head(view, base)
+    if _conn_count(view, base) == 0:
+        yield from _delete_lnvc(view, slot)
+    yield Release(lock)
+    yield Release(GLOBAL_LOCK)
+    return None
+
+
+def message_send(view: MPFView, pid: int, lnvc_id: int, data: bytes) -> OpGen:
+    """Asynchronously send ``data`` to the circuit.
+
+    The payload is copied into a chain of fixed-size message blocks
+    allocated from the shared free list, then the chain is linked at the
+    FIFO tail and waiting receivers are woken.  The sender continues as
+    soon as the message is queued ("Message sending is asynchronous,
+    allowing a process to proceed before the message reaches its
+    destination(s)", paper §2).  Returns the message's sequence number on
+    the circuit.
+
+    Raises :class:`OutOfMessageMemoryError` when the header or block pool
+    is exhausted — the hard edge of the ``init()`` sizing estimate.
+    """
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise TypeError("message payload must be bytes-like")
+    data = bytes(data)
+    r = view.region
+    c = view.costs
+    lay = view.layout
+    bs = view.cfg.block_size
+    length = len(data)
+    nblk = (length + bs - 1) // bs
+    yield Charge(Work(instrs=c.send_fixed, label="send-fixed"))
+
+    # Phase 1: allocation.  Blocks are private until linked, so only the
+    # free lists need the allocator lock.
+    yield Acquire(ALLOC_LOCK)
+    hdr = fl_alloc(r, HDR.u32["free_msg"])
+    if hdr == NIL:
+        yield from _release_and_raise(
+            [ALLOC_LOCK], OutOfMessageMemoryError("message header pool exhausted")
+        )
+    blocks: list[int] = []
+    for _ in range(nblk):
+        blk = fl_alloc(r, HDR.u32["free_blk"])
+        if blk == NIL:
+            for b in blocks:
+                fl_free(r, HDR.u32["free_blk"], b)
+            fl_free(r, HDR.u32["free_msg"], hdr)
+            yield from _release_and_raise(
+                [ALLOC_LOCK],
+                OutOfMessageMemoryError(
+                    f"block pool exhausted ({nblk}-block message)"
+                ),
+            )
+        blocks.append(blk)
+    HDR.add(r, "live_msgs", 1)
+    HDR.add(r, "live_blocks", nblk)
+    live = HDR.add(r, "live_bytes", length)
+    if live > HDR.get(r, "hwm_live_bytes"):
+        HDR.set(r, "hwm_live_bytes", live)
+    live_msgs = HDR.get(r, "live_msgs")
+    if live_msgs > HDR.get(r, "hwm_live_msgs"):
+        HDR.set(r, "hwm_live_msgs", live_msgs)
+    yield Charge(Work(instrs=(nblk + 1) * c.blk_alloc, label="send-alloc"))
+    yield Release(ALLOC_LOCK)
+
+    # Phase 2: fill the private chain — outside every lock.
+    for i, blk in enumerate(blocks):
+        nxt = blocks[i + 1] if i + 1 < nblk else NIL
+        r.set_u32(blk + BLK_NEXT, nxt)
+        r.write(blk + 4, data[i * bs : min((i + 1) * bs, length)])
+    yield Charge(
+        Work(
+            instrs=nblk * c.blk_fill + length * c.copy_byte,
+            copy_bytes=length,
+            blocks=nblk,
+            page_bytes=nblk * lay.blk_stride + MSG.size,
+            label="send-copy",
+        )
+    )
+
+    # Phase 3: link at the FIFO tail under the circuit lock.
+    slot, gen = decode_lnvc_id(lnvc_id)
+    lock = view.lnvc_lock(slot) if slot < view.cfg.max_lnvcs else GLOBAL_LOCK
+    yield Acquire(lock)
+    try:
+        view.resolve(lnvc_id)
+        base = lay.lnvc_off(slot)
+        sd, _, steps = _find_send(view, base, pid)
+        if sd == NIL:
+            raise NotConnectedError(f"pid {pid} holds no send connection here")
+    except (UnknownLNVCError, NotConnectedError) as exc:
+        yield Release(lock)
+        yield Acquire(ALLOC_LOCK)
+        for b in blocks:
+            fl_free(r, HDR.u32["free_blk"], b)
+        fl_free(r, HDR.u32["free_msg"], hdr)
+        HDR.add(r, "live_msgs", -1)
+        HDR.add(r, "live_blocks", -nblk)
+        HDR.add(r, "live_bytes", -length)
+        yield from _release_and_raise([ALLOC_LOCK], exc)
+
+    n_fcfs = LNVC.get(r, base, "n_fcfs")
+    n_bcast = LNVC.get(r, base, "n_bcast")
+    flags = MsgFlags.NONE
+    if n_fcfs:
+        flags |= MsgFlags.FCFS_EXPECTED
+    if n_fcfs or n_bcast:
+        flags |= MsgFlags.HAD_RECEIVERS
+    seqno = LNVC.get(r, base, "seq")
+    LNVC.set(r, base, "seq", seqno + 1)
+    MSG.set(r, hdr, "length", length)
+    MSG.set(r, hdr, "nblocks", nblk)
+    MSG.set(r, hdr, "first_blk", blocks[0] if blocks else NIL)
+    MSG.set(r, hdr, "next_msg", NIL)
+    MSG.set(r, hdr, "bcast_pending", n_bcast)
+    MSG.set(r, hdr, "busy", 0)
+    MSG.set(r, hdr, "flags", flags)
+    MSG.set(r, hdr, "seqno", seqno)
+    MSG.set(r, hdr, "sender", pid)
+    tail = LNVC.get(r, base, "fifo_tail")
+    if tail == NIL:
+        LNVC.set(r, base, "fifo_head", hdr)
+    else:
+        MSG.set(r, tail, "next_msg", hdr)
+    LNVC.set(r, base, "fifo_tail", hdr)
+    depth = LNVC.add(r, base, "nmsgs", 1)
+    if depth > LNVC.get(r, base, "hwm_nmsgs"):
+        LNVC.set(r, base, "hwm_nmsgs", depth)
+    if LNVC.get(r, base, "fcfs_head") == NIL:
+        LNVC.set(r, base, "fcfs_head", hdr)
+    # Point every caught-up BROADCAST receiver at the new message.
+    rsteps = 0
+    desc = LNVC.get(r, base, "recv_list")
+    while desc != NIL:
+        rsteps += 1
+        if (
+            Protocol(RECV.get(r, desc, "proto")) is Protocol.BROADCAST
+            and RECV.get(r, desc, "head") == NIL
+        ):
+            RECV.set(r, desc, "head", hdr)
+        desc = RECV.get(r, desc, "next")
+    HDR.add(r, "total_sends", 1)
+    HDR.add(r, "total_bytes_sent", length)
+    yield Charge(
+        Work(
+            instrs=c.msg_link + (steps + rsteps) * c.list_step,
+            label="send-link",
+        )
+    )
+    yield Release(lock)
+    yield Wake(slot)
+    return seqno
+
+
+def message_receive(
+    view: MPFView, pid: int, lnvc_id: int, max_len: int | None = None
+) -> OpGen:
+    """Receive the next message for ``pid`` from the circuit; blocking.
+
+    FCFS connections consume the oldest message not yet taken by any FCFS
+    receiver; BROADCAST connections read the oldest message past their
+    individual head pointer.  The payload copy out of the block chain
+    happens outside the circuit lock, so concurrent receivers overlap
+    (Figure 5).  Returns the payload bytes.
+
+    If ``max_len`` is given and the next message is longer, raises
+    :class:`BufferOverflowError` *without* consuming the message — the
+    safe analogue of the C interface's caller-supplied buffer.
+    """
+    r = view.region
+    c = view.costs
+    yield Charge(Work(instrs=c.recv_fixed, label="recv-fixed"))
+    slot, gen = decode_lnvc_id(lnvc_id)
+    lock = view.lnvc_lock(slot) if slot < view.cfg.max_lnvcs else GLOBAL_LOCK
+    yield Acquire(lock)
+    try:
+        view.resolve(lnvc_id)
+    except UnknownLNVCError as exc:
+        yield from _release_and_raise([lock], exc)
+    base = view.layout.lnvc_off(slot)
+    desc, _, steps = _find_recv(view, base, pid)
+    if desc == NIL:
+        yield from _release_and_raise(
+            [lock], NotConnectedError(f"pid {pid} holds no receive connection here")
+        )
+    proto = Protocol(RECV.get(r, desc, "proto"))
+    yield Charge(Work(instrs=steps * c.list_step, label="recv-find"))
+
+    msg = NIL
+    while True:
+        if proto is Protocol.FCFS:
+            msg = LNVC.get(r, base, "fcfs_head")
+        else:
+            msg = RECV.get(r, desc, "head")
+        if msg != NIL:
+            break
+        # Nothing available: sleep on the circuit's wait channel.  WaitOn
+        # atomically releases the lock and reacquires it on wake, closing
+        # the lost wake-up window.
+        yield WaitOn(slot, lock)
+        yield Charge(Work(instrs=c.waiter_wakeup, label="recv-wakeup"))
+
+    length = MSG.get(r, msg, "length")
+    if max_len is not None and length > max_len:
+        yield from _release_and_raise(
+            [lock],
+            BufferOverflowError(
+                f"next message is {length} bytes, buffer holds {max_len}"
+            ),
+        )
+
+    # Claim the message under the lock, then copy outside it.
+    MSG.add(r, msg, "busy", 1)
+    if proto is Protocol.FCFS:
+        MSG.set(r, msg, "flags", MSG.get(r, msg, "flags") | MsgFlags.FCFS_TAKEN)
+        LNVC.set(
+            r, base, "fcfs_head", _first_untaken(view, MSG.get(r, msg, "next_msg"))
+        )
+    else:
+        RECV.set(r, desc, "head", MSG.get(r, msg, "next_msg"))
+    RECV.add(r, desc, "nreads", 1)
+    nblk = MSG.get(r, msg, "nblocks")
+    first = MSG.get(r, msg, "first_blk")
+    yield Release(lock)
+
+    # Copy phase — concurrent with other receivers of the same message.
+    bs = view.cfg.block_size
+    parts: list[bytes] = []
+    blk, remaining = first, length
+    while blk != NIL and remaining > 0:
+        take = min(bs, remaining)
+        parts.append(r.read(blk + 4, take))
+        remaining -= take
+        blk = r.u32(blk + BLK_NEXT)
+    payload = b"".join(parts)
+    yield Charge(
+        Work(
+            instrs=nblk * c.blk_drain + length * c.copy_byte,
+            copy_bytes=length,
+            blocks=nblk,
+            label="recv-copy",
+        )
+    )
+
+    # Completion: drop the busy pin, account the read, retire and reap.
+    yield Acquire(lock)
+    MSG.add(r, msg, "busy", -1)
+    if proto is Protocol.BROADCAST:
+        MSG.add(r, msg, "bcast_pending", -1)
+    _retire_check(view, msg)
+    yield Charge(Work(instrs=c.msg_retire, label="recv-retire"))
+    yield from _reap_head(view, base)
+    HDR.add(r, "total_receives", 1)
+    HDR.add(r, "total_bytes_received", length)
+    yield Release(lock)
+    return payload
+
+
+def check_receive(view: MPFView, pid: int, lnvc_id: int) -> OpGen:
+    """Count the messages currently available to ``pid`` on the circuit.
+
+    Returns 0 when nothing is queued for this receiver.  For an FCFS
+    connection the count is advisory only: another FCFS receiver "may
+    acquire the message before the checking process can receive the
+    message" (paper §2) — the count can be stale the moment the lock is
+    released.  For BROADCAST the counted messages are guaranteed to be
+    deliverable to this receiver.
+    """
+    r = view.region
+    c = view.costs
+    yield Charge(Work(instrs=c.check_fixed, label="check-fixed"))
+    slot, gen = decode_lnvc_id(lnvc_id)
+    lock = view.lnvc_lock(slot) if slot < view.cfg.max_lnvcs else GLOBAL_LOCK
+    yield Acquire(lock)
+    try:
+        view.resolve(lnvc_id)
+    except UnknownLNVCError as exc:
+        yield from _release_and_raise([lock], exc)
+    base = view.layout.lnvc_off(slot)
+    desc, _, steps = _find_recv(view, base, pid)
+    if desc == NIL:
+        yield from _release_and_raise(
+            [lock], NotConnectedError(f"pid {pid} holds no receive connection here")
+        )
+    proto = Protocol(RECV.get(r, desc, "proto"))
+    if proto is Protocol.FCFS:
+        msg = LNVC.get(r, base, "fcfs_head")
+    else:
+        msg = RECV.get(r, desc, "head")
+    count = 0
+    while msg != NIL:
+        count += 1
+        msg = MSG.get(r, msg, "next_msg")
+    yield Charge(
+        Work(instrs=(steps + count) * c.list_step, label="check-walk")
+    )
+    yield Release(lock)
+    return count

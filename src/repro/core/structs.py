@@ -1,0 +1,142 @@
+"""Record layouts for the shared-segment data structures.
+
+These are the byte-level equivalents of the C structs sketched in paper
+§3.1 (Figure 2):
+
+* :data:`LNVC` — one circuit descriptor: name, lock, FIFO head/tail, the
+  shared FCFS head pointer, connection lists and connection counts.
+* :data:`SEND` / :data:`RECV` — send and receive connection descriptors;
+  a BROADCAST receive descriptor carries its individual FIFO head pointer
+  ("BROADCAST receive processes have an additional descriptor field used
+  for individual FIFO head pointers").
+* :data:`MSG` — a message header: length, block chain, FIFO link, and the
+  retirement-accounting fields (see DESIGN.md §4).
+* message blocks — ``u32 next`` + ``block_size`` data bytes; their stride
+  depends on the configured block size, so they are described by
+  :func:`block_stride` rather than a fixed :class:`Record`.
+
+A :class:`Record` maps field names to offsets; all fields are u32.  Access
+goes through a bound :class:`~repro.core.region.SharedRegion` plus the
+record's base offset — the same pointer-plus-field-offset arithmetic the C
+compiler would emit.
+"""
+
+from __future__ import annotations
+
+from .protocol import NAME_MAX
+from .region import SharedRegion
+
+__all__ = [
+    "Record",
+    "LNVC",
+    "SEND",
+    "RECV",
+    "MSG",
+    "BLK_NEXT",
+    "block_stride",
+]
+
+
+class Record:
+    """A fixed layout of named u32 fields, plus optional trailing raw bytes.
+
+    ``fields`` are laid out in declaration order, four bytes each;
+    ``tail_bytes`` reserves unstructured space after them (used for the
+    LNVC name).  The first field of every record doubles as the free-list
+    link while the record is unallocated (see :mod:`repro.core.freelist`).
+    """
+
+    __slots__ = ("name", "offsets", "size", "tail_off")
+
+    def __init__(self, name: str, fields: tuple[str, ...], tail_bytes: int = 0) -> None:
+        self.name = name
+        self.offsets = {f: 4 * i for i, f in enumerate(fields)}
+        self.tail_off = 4 * len(fields)
+        self.size = self.tail_off + tail_bytes
+
+    def get(self, region: SharedRegion, base: int, field: str) -> int:
+        """Read field ``field`` of the record at byte offset ``base``."""
+        return region.u32(base + self.offsets[field])
+
+    def set(self, region: SharedRegion, base: int, field: str, value: int) -> None:
+        """Write field ``field`` of the record at byte offset ``base``."""
+        region.set_u32(base + self.offsets[field], value)
+
+    def add(self, region: SharedRegion, base: int, field: str, delta: int) -> int:
+        """Add ``delta`` to field ``field``; returns the new value."""
+        return region.add_u32(base + self.offsets[field], delta)
+
+    def clear(self, region: SharedRegion, base: int) -> None:
+        """Zero the whole record (fields and tail)."""
+        region.fill(base, self.size, 0)
+
+    def dump(self, region: SharedRegion, base: int) -> dict[str, int]:
+        """Snapshot all fields as a dict (diagnostics and tests)."""
+        return {f: region.u32(base + off) for f, off in self.offsets.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Record({self.name}, size={self.size})"
+
+
+#: LNVC descriptor.  ``in_use`` doubles as the free-list link position but
+#: LNVC slots are allocated by table scan, not free list, because opens
+#: must search by name anyway (paper: LNVC names "must be unique").
+LNVC = Record(
+    "LNVC",
+    (
+        "in_use",      # 0 = free slot, 1 = live circuit
+        "gen",         # generation counter, bumped on delete (stale-id hygiene)
+        "nmsgs",       # messages physically linked in the FIFO
+        "fifo_head",   # oldest message still linked (MSG offset or NIL)
+        "fifo_tail",   # newest message (MSG offset or NIL)
+        "fcfs_head",   # oldest message not yet FCFS-taken (shared FCFS head)
+        "send_list",   # head of send-descriptor list (SEND offset or NIL)
+        "recv_list",   # head of receive-descriptor list (RECV offset or NIL)
+        "n_senders",
+        "n_fcfs",
+        "n_bcast",
+        "seq",         # messages ever enqueued on this circuit (statistics)
+        "hwm_nmsgs",   # deepest the FIFO has ever been (statistics)
+        "name_len",    # bytes of UTF-8 name stored in the tail
+    ),
+    tail_bytes=NAME_MAX + 1,
+)
+
+#: Send connection descriptor: just the owning process and the list link.
+SEND = Record("SEND", ("pid", "next"))
+
+#: Receive connection descriptor.  ``head`` is meaningful only for
+#: BROADCAST connections: the next message this receiver will read, or NIL
+#: when it has caught up with the FIFO tail.
+RECV = Record("RECV", ("pid", "proto", "head", "next", "nreads"))
+
+#: Message header (paper §3.1: "a header for saving pertinent message
+#: information (e.g., message length, a pointer to the tail, and a pointer
+#: to the next message in a list of messages for an LNVC)").
+MSG = Record(
+    "MSG",
+    (
+        "length",         # payload bytes
+        "nblocks",        # blocks in the chain
+        "first_blk",      # head of the block chain (block offset or NIL)
+        "next_msg",       # FIFO link to the next-younger message
+        "bcast_pending",  # broadcast receivers that still must read this
+        "busy",           # receivers currently copying out of the chain
+        "flags",          # MsgFlags bits
+        "seqno",          # enqueue sequence number on the circuit
+        "sender",         # pid of the sending process
+    ),
+)
+
+#: Offset of the ``next`` link inside a message block.
+BLK_NEXT = 0
+
+
+def block_stride(block_size: int) -> int:
+    """Bytes occupied by one message block: u32 link + ``block_size`` data.
+
+    The paper used 10-byte blocks in all experiments ("In all of our
+    experiments, 10 byte message blocks were used"), giving a 14-byte
+    stride here.
+    """
+    return 4 + block_size

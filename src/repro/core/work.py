@@ -1,0 +1,71 @@
+"""Work descriptors: abstract cost accounting for MPF operations.
+
+The same MPF primitive implementation must run on a real machine (where
+its cost is whatever the interpreter takes) and on the simulated Sequent
+Balance 21000 (where its cost must be *modelled*).  Primitives therefore
+describe the work they perform in machine-neutral units — instructions
+executed, bytes copied through shared memory, blocks manipulated, floating
+point operations — and each runtime prices those units:
+
+* the simulator converts them to seconds with
+  :class:`~repro.core.costmodel.CostModel`, charging the simulated clock;
+* real runtimes ignore them (real time elapses by itself).
+
+Keeping the unit vocabulary small and physical is what makes the cost
+model auditable: every constant in the model corresponds to a nameable
+activity of the 1987 C implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Work"]
+
+
+@dataclass(frozen=True, slots=True)
+class Work:
+    """An amount of abstract machine work.
+
+    Attributes
+    ----------
+    instrs:
+        General instructions: list manipulation, field updates, searches.
+    copy_bytes:
+        Payload bytes moved between a user buffer and message blocks.
+        Copies traverse the shared bus, so the simulator also feeds this
+        into the bus-contention model.
+    blocks:
+        Message blocks allocated, filled, drained or freed; each block
+        costs loop and linkage overhead beyond its bytes (with the paper's
+        10-byte blocks this overhead dominates, which is exactly why the
+        base benchmark saturates near 22 KB/s).
+    flops:
+        Floating point operations (application compute, Figures 7 and 8).
+    page_bytes:
+        Bytes of shared segment newly touched; input to the paging model
+        (Figure 6).
+    label:
+        Optional tag for tracing and statistics.
+    """
+
+    instrs: int = 0
+    copy_bytes: int = 0
+    blocks: int = 0
+    flops: int = 0
+    page_bytes: int = 0
+    label: str = ""
+
+    def __add__(self, other: "Work") -> "Work":
+        return Work(
+            self.instrs + other.instrs,
+            self.copy_bytes + other.copy_bytes,
+            self.blocks + other.blocks,
+            self.flops + other.flops,
+            self.page_bytes + other.page_bytes,
+            self.label or other.label,
+        )
+
+    def is_zero(self) -> bool:
+        """True when charging this work would be a no-op."""
+        return not (self.instrs or self.copy_bytes or self.blocks or self.flops or self.page_bytes)

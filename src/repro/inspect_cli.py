@@ -1,0 +1,79 @@
+"""``mpf-inspect`` — dump the live state of a named MPF segment.
+
+Operational counterpart of :mod:`repro.core.inspect`: attach read-only
+to a segment created by :class:`repro.runtime.posix.PosixSegment` from
+any terminal and print its circuits, connections, queues and pool
+occupancy::
+
+    mpf-inspect myapp --max-lnvcs 8 --max-processes 4
+
+The config flags must match the creator's ``MPFConfig`` (the segment
+header is validated against them, so a mismatch is an error, not a
+garbled dump).  The attach takes no locks; on a busy segment the
+snapshot may be torn — see the consistency caveat in
+:mod:`repro.core.inspect`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from multiprocessing import shared_memory
+
+from .core.inspect import inspect_segment, render_segment
+from .core.layout import MPFConfig, check_region
+from .core.ops import MPFView
+from .core.region import SharedRegion
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mpf-inspect",
+        description="Dump the live state of a named MPF shared segment.",
+    )
+    parser.add_argument("name", help="segment name (as passed to PosixSegment.create)")
+    parser.add_argument("--max-lnvcs", type=int, default=32)
+    parser.add_argument("--max-processes", type=int, default=32)
+    parser.add_argument("--block-size", type=int, default=10)
+    parser.add_argument("--max-messages", type=int, default=1024)
+    parser.add_argument("--message-pool-bytes", type=int, default=1 << 20)
+    parser.add_argument("--ext-slots", type=int, default=0)
+    parser.add_argument("--ext-bytes", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    cfg = MPFConfig(
+        max_lnvcs=args.max_lnvcs,
+        max_processes=args.max_processes,
+        block_size=args.block_size,
+        max_messages=args.max_messages,
+        message_pool_bytes=args.message_pool_bytes,
+        ext_slots=args.ext_slots,
+        ext_bytes=args.ext_bytes,
+    )
+    try:
+        shm = shared_memory.SharedMemory(name=args.name)
+    except FileNotFoundError:
+        print(f"error: no shared segment named {args.name!r}", file=sys.stderr)
+        return 2
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals moved
+        pass
+    region = SharedRegion(shm.buf)
+    try:
+        layout = check_region(region, cfg)
+        view = MPFView(region, layout)
+        print(render_segment(inspect_segment(view)))
+        return 0
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        region.release()
+        shm.close()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

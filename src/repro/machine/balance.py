@@ -1,0 +1,95 @@
+"""Machine description of the Sequent Balance 21000 testbed.
+
+Paper §4: "All experiments were conducted on a machine containing 20
+processors and 16 Mbytes of memory.  Each Balance 21000 processor is a
+10 MHz National Semiconductor NS32032 microprocessor, and all processors
+are connected to shared memory by a shared bus with a 80 Mbyte/s (maximum)
+transfer rate.  Each processor has a 8K byte, write-through cache and an
+8K byte local memory."
+
+:class:`MachineConfig` captures the published hardware parameters together
+with the small number of *model* parameters (instruction rate, floating
+point rate, bus contention coefficient, paging budget) that calibrate the
+simulation against the paper's measured curves.  EXPERIMENTS.md records
+the calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["MachineConfig", "BALANCE_21000"]
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Hardware and timing-model parameters of the simulated machine."""
+
+    # -- published hardware (paper §4) --------------------------------------
+    #: Processor count.
+    n_cpus: int = 20
+    #: Processor clock, Hz (10 MHz NS32032).
+    cpu_hz: float = 10e6
+    #: Main memory, bytes (16 MB).
+    memory_bytes: int = 16 << 20
+    #: Shared bus maximum transfer rate, bytes/second (80 MB/s).
+    bus_bytes_per_second: float = 80e6
+    #: Per-processor write-through cache, bytes (8 KB).
+    cache_bytes: int = 8 << 10
+    #: Virtual memory page size, bytes (NS32082 MMU: 512-byte pages).
+    page_bytes: int = 512
+
+    # -- model parameters (calibrated; see EXPERIMENTS.md) --------------------
+    #: Average cycles per instruction on pointer-heavy C code.  The
+    #: NS32032 retired roughly one instruction per 8-12 cycles on such
+    #: code, i.e. ~1 MIPS at 10 MHz; 10 cycles/instr gives exactly that.
+    cycles_per_instr: float = 10.0
+    #: Seconds per double-precision floating point *element operation* —
+    #: arithmetic plus the array addressing and loop overhead around it
+    #: in compiled C.  The NS32081 FPU plus its slow coupling and the
+    #: surrounding integer work put this in the tens of microseconds
+    #: (the Balance measured ~0.1 MFLOPS on LINPACK-style loops, and the
+    #: element overhead roughly triples the pure-FP time).  Calibrated
+    #: against Figure 7's speedup levels.
+    flop_seconds: float = 45e-6
+    #: Extra fractional bus cost per *other* concurrent copier.  Captures
+    #: the write-through caches pushing every copied byte onto the shared
+    #: bus; produces the sub-linear broadcast scaling of Figure 5.
+    bus_contention_alpha: float = 0.008
+    #: Resident-set budget for MPF message memory, bytes.  When the
+    #: high-water message footprint exceeds this, block touches begin to
+    #: fault (Figure 6's decline past ~10 processes at 1024-byte messages).
+    resident_bytes: int = 24 << 10
+    #: Seconds per page fault.  Calibrated to Figure 6: with 1024-byte
+    #: messages the random benchmark peaks near 10-14 processes and then
+    #: declines, while 256-byte messages only begin to fault at 20
+    #: processes — a 1987 Unix reclaim with occasional disk involvement.
+    page_fault_seconds: float = 30e-3
+    #: Enable the paging model (benchmarks that predate it switch it off).
+    paging_enabled: bool = True
+    #: Read-miss stall per message block once the cycled block footprint
+    #: exceeds the 8 KB cache (a handful of memory accesses at ~1 µs).
+    cache_miss_seconds: float = 4e-6
+    #: Enable the write-through cache model.
+    cache_enabled: bool = True
+
+    @property
+    def instr_seconds(self) -> float:
+        """Seconds per average instruction."""
+        return self.cycles_per_instr / self.cpu_hz
+
+    def with_cpus(self, n_cpus: int) -> "MachineConfig":
+        """Copy with a different processor count."""
+        return replace(self, n_cpus=n_cpus)
+
+    def without_paging(self) -> "MachineConfig":
+        """Copy with the paging model disabled."""
+        return replace(self, paging_enabled=False)
+
+    def without_cache(self) -> "MachineConfig":
+        """Copy with the cache model disabled."""
+        return replace(self, cache_enabled=False)
+
+
+#: The paper's testbed.
+BALANCE_21000 = MachineConfig()

@@ -1,0 +1,416 @@
+"""Deterministic discrete-event engine for the simulated multiprocessor.
+
+Processes are Python generators that yield the effect objects of
+:mod:`repro.core.effects` (MPF primitives already speak that vocabulary;
+application code adds its own ``Charge`` effects for compute).  The engine
+interprets each effect against simulated locks, wait channels and a
+pluggable :class:`TimingModel`, advancing a virtual clock.
+
+Determinism: events are ordered by ``(time, sequence)`` with a
+monotonically increasing sequence number, and every queue (lock waiters,
+channel sleepers) is FIFO.  Two runs of the same program produce identical
+traces — the property that makes the reproduced figures exact rather than
+sampled.
+
+Deadlock: when no event is pending but processes are still blocked, the
+engine raises :class:`DeadlockError` naming the blocked processes and what
+they wait on.  The paper discusses exactly this programming hazard (§3.2:
+messages lost when senders close before receivers join); the detector
+turns it from a hang into a diagnosis.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Protocol as TypingProtocol
+
+from ..core.effects import Acquire, Charge, Release, WaitOn, Wake
+from ..core.work import Work
+
+__all__ = [
+    "DeadlockError",
+    "SimulationError",
+    "TimingModel",
+    "ZeroTimingModel",
+    "SimProcess",
+    "Engine",
+]
+
+ProcGen = Generator[object, object, object]
+
+
+class SimulationError(RuntimeError):
+    """Structural error inside the simulation (not the simulated program)."""
+
+
+class DeadlockError(SimulationError):
+    """Every remaining process is blocked and no event can wake it."""
+
+
+class TimingModel(TypingProtocol):
+    """Prices machine activity in simulated seconds."""
+
+    def price(self, work: Work, running: int) -> float:
+        """Seconds to perform ``work`` with ``running`` busy processors."""
+        ...
+
+    def acquire_cost(self) -> float:
+        """Seconds for an (uncontended) lock acquisition."""
+        ...
+
+    def release_cost(self) -> float:
+        """Seconds for a lock release."""
+        ...
+
+    def wake_cost(self, n_waiters: int) -> float:
+        """Seconds the waker spends waking ``n_waiters`` sleepers."""
+        ...
+
+    def copy_started(self) -> None:
+        """A process entered a shared-memory copy phase (bus tracking)."""
+        ...
+
+    def copy_finished(self) -> None:
+        """A process left a shared-memory copy phase."""
+        ...
+
+
+class ZeroTimingModel:
+    """Everything is free.  Used by functional tests of the engine itself."""
+
+    def price(self, work: Work, running: int) -> float:
+        return 0.0
+
+    def acquire_cost(self) -> float:
+        return 0.0
+
+    def release_cost(self) -> float:
+        return 0.0
+
+    def wake_cost(self, n_waiters: int) -> float:
+        return 0.0
+
+    def copy_started(self) -> None:
+        pass
+
+    def copy_finished(self) -> None:
+        pass
+
+
+_RUNNABLE = "runnable"
+_WAIT_LOCK = "wait-lock"
+_WAIT_CHAN = "wait-chan"
+_DONE = "done"
+_FAILED = "failed"
+
+
+@dataclass
+class SimProcess:
+    """One simulated process: a generator plus scheduling state."""
+
+    name: str
+    gen: ProcGen
+    pid: int
+    state: str = _RUNNABLE
+    #: Value (or exception) to inject at the next resume.
+    _inbox: object = None
+    _throw: BaseException | None = None
+    #: Generator return value once finished.
+    result: object = None
+    #: Exception that terminated the process, if any.
+    error: BaseException | None = None
+    #: Lock the process must reacquire when woken from a channel.
+    _wait_lock: int | None = None
+    #: Simulated time spent blocked on locks (statistics).
+    lock_wait_time: float = 0.0
+    _blocked_since: float = 0.0
+    #: True while the process is inside a Charge with copy_bytes > 0.
+    _copying: bool = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimProcess({self.name!r}, pid={self.pid}, state={self.state})"
+
+
+class _SimLock:
+    """A FIFO mutex in simulated time."""
+
+    __slots__ = ("owner", "waiters")
+
+    def __init__(self) -> None:
+        self.owner: SimProcess | None = None
+        self.waiters: deque[SimProcess] = deque()
+
+
+class _WaitChannel:
+    """A queue of sleeping processes (condition-variable wait set)."""
+
+    __slots__ = ("sleepers",)
+
+    def __init__(self) -> None:
+        self.sleepers: deque[SimProcess] = deque()
+
+
+@dataclass
+class EngineStats:
+    """Aggregate counters maintained by the engine."""
+
+    events: int = 0
+    charges: int = 0
+    charged_seconds: float = 0.0
+    lock_acquires: int = 0
+    lock_contended: int = 0
+    wakes: int = 0
+    woken: int = 0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "events": self.events,
+            "charges": self.charges,
+            "charged_seconds": self.charged_seconds,
+            "lock_acquires": self.lock_acquires,
+            "lock_contended": self.lock_contended,
+            "wakes": self.wakes,
+            "woken": self.woken,
+        }
+
+
+class Engine:
+    """The event loop.
+
+    Parameters
+    ----------
+    n_locks, n_channels:
+        Sizes of the lock and wait-channel tables (from
+        :class:`~repro.core.layout.MPFConfig`).
+    timing:
+        The :class:`TimingModel` pricing every activity.
+    n_cpus:
+        Simulated processors.  When more processes are simultaneously
+        runnable than processors exist, charges stretch proportionally
+        (coarse processor multiplexing; adequate because the paper never
+        ran more processes than the Balance's 20 CPUs).
+    trace:
+        Optional callable receiving ``(time, process_name, event_str)``.
+    """
+
+    def __init__(
+        self,
+        n_locks: int,
+        n_channels: int,
+        timing: TimingModel | None = None,
+        n_cpus: int = 20,
+        trace: Callable[[float, str, str], None] | None = None,
+        max_events: int = 200_000_000,
+    ) -> None:
+        if n_locks < 1 or n_channels < 0:
+            raise SimulationError("engine needs at least one lock")
+        self.now = 0.0
+        self.timing: TimingModel = timing or ZeroTimingModel()
+        self.n_cpus = max(1, n_cpus)
+        self.locks = [_SimLock() for _ in range(n_locks)]
+        self.channels = [_WaitChannel() for _ in range(n_channels)]
+        self.processes: list[SimProcess] = []
+        self.stats = EngineStats()
+        self._heap: list[tuple[float, int, SimProcess]] = []
+        self._seq = 0
+        self._trace = trace
+        self._max_events = max_events
+
+    # -- process management --------------------------------------------------
+
+    def spawn(self, name: str, gen: ProcGen) -> SimProcess:
+        """Register a process and schedule its first step at the current time."""
+        proc = SimProcess(name=name, gen=gen, pid=len(self.processes))
+        self.processes.append(proc)
+        self._schedule(proc, 0.0)
+        return proc
+
+    def _schedule(self, proc: SimProcess, dt: float) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + dt, self._seq, proc))
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self, until: float | None = None) -> float:
+        """Run to completion (or to ``until``); returns the final time.
+
+        Raises :class:`DeadlockError` if blocked processes remain with no
+        pending event, and re-raises the first process exception (engine
+        effects are interpreted strictly: a crashed process crashes the
+        simulation, as a crashed Unix process would crash the benchmark).
+        """
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                # Stop without consuming the future event: a later run()
+                # resumes exactly where this one paused.
+                self.now = until
+                return self.now
+            t, _, proc = heapq.heappop(self._heap)
+            self.now = t
+            self.stats.events += 1
+            if self.stats.events > self._max_events:
+                raise SimulationError(f"exceeded {self._max_events} events")
+            if proc.state in (_DONE, _FAILED):
+                continue
+            self._step(proc)
+        blocked = [p for p in self.processes if p.state in (_WAIT_LOCK, _WAIT_CHAN)]
+        if blocked:
+            detail = ", ".join(
+                f"{p.name}({p.state}"
+                + (f" lock={p._wait_lock}" if p._wait_lock is not None else "")
+                + ")"
+                for p in blocked
+            )
+            raise DeadlockError(f"no pending events but blocked: {detail}")
+        return self.now
+
+    def results(self) -> dict[str, object]:
+        """Map process name → generator return value (after :meth:`run`)."""
+        return {p.name: p.result for p in self.processes}
+
+    # -- single step ----------------------------------------------------------
+
+    def _step(self, proc: SimProcess) -> None:
+        if proc._copying:
+            # The charge that just completed was a copy phase.
+            proc._copying = False
+            self.timing.copy_finished()
+        try:
+            if proc._throw is not None:
+                exc, proc._throw = proc._throw, None
+                effect = proc.gen.throw(exc)
+            else:
+                value, proc._inbox = proc._inbox, None
+                effect = proc.gen.send(value)
+        except StopIteration as stop:
+            proc.state = _DONE
+            proc.result = stop.value
+            return
+        except BaseException as exc:
+            proc.state = _FAILED
+            proc.error = exc
+            raise
+        self._dispatch(proc, effect)
+
+    def _dispatch(self, proc: SimProcess, effect: object) -> None:
+        if self._trace is not None:
+            self._trace(self.now, proc.name, repr(effect))
+        if isinstance(effect, Charge):
+            self._do_charge(proc, effect.work)
+        elif isinstance(effect, Acquire):
+            self._do_acquire(proc, effect.lock_id)
+        elif isinstance(effect, Release):
+            self._do_release(proc, effect.lock_id)
+        elif isinstance(effect, WaitOn):
+            self._do_wait(proc, effect.chan, effect.lock_id)
+        elif isinstance(effect, Wake):
+            self._do_wake(proc, effect.chan)
+        else:
+            proc.state = _FAILED
+            err = SimulationError(
+                f"process {proc.name!r} yielded non-effect {effect!r}"
+            )
+            proc.error = err
+            raise err
+
+    # -- effect handlers -------------------------------------------------------
+
+    def _do_charge(self, proc: SimProcess, work: Work) -> None:
+        runnable = sum(1 for p in self.processes if p.state == _RUNNABLE)
+        dt = self.timing.price(work, runnable)
+        if work.copy_bytes > 0:
+            proc._copying = True
+            self.timing.copy_started()
+        self.stats.charges += 1
+        self.stats.charged_seconds += dt
+        self._schedule(proc, dt)
+
+    def _lock(self, lock_id: int) -> _SimLock:
+        try:
+            return self.locks[lock_id]
+        except IndexError:
+            raise SimulationError(f"lock id {lock_id} out of range") from None
+
+    def _chan(self, chan: int) -> _WaitChannel:
+        try:
+            return self.channels[chan]
+        except IndexError:
+            raise SimulationError(f"wait channel {chan} out of range") from None
+
+    def _do_acquire(self, proc: SimProcess, lock_id: int) -> None:
+        lock = self._lock(lock_id)
+        self.stats.lock_acquires += 1
+        if lock.owner is None:
+            lock.owner = proc
+            self._schedule(proc, self.timing.acquire_cost())
+        else:
+            if lock.owner is proc:
+                raise SimulationError(
+                    f"process {proc.name!r} re-acquired lock {lock_id} (self-deadlock)"
+                )
+            self.stats.lock_contended += 1
+            proc.state = _WAIT_LOCK
+            proc._wait_lock = lock_id
+            proc._blocked_since = self.now
+            lock.waiters.append(proc)
+
+    def _do_release(self, proc: SimProcess, lock_id: int) -> None:
+        lock = self._lock(lock_id)
+        if lock.owner is not proc:
+            raise SimulationError(
+                f"process {proc.name!r} released lock {lock_id} it does not own"
+            )
+        self._grant_next(lock_id, lock)
+        self._schedule(proc, self.timing.release_cost())
+
+    def _grant_next(self, lock_id: int, lock: _SimLock) -> None:
+        """Hand the lock to its next FIFO waiter (or leave it free)."""
+        if lock.waiters:
+            nxt = lock.waiters.popleft()
+            lock.owner = nxt
+            nxt.state = _RUNNABLE
+            nxt._wait_lock = None
+            nxt.lock_wait_time += self.now - nxt._blocked_since
+            self._schedule(nxt, self.timing.acquire_cost())
+        else:
+            lock.owner = None
+
+    def _do_wait(self, proc: SimProcess, chan: int, lock_id: int) -> None:
+        lock = self._lock(lock_id)
+        if lock.owner is not proc:
+            raise SimulationError(
+                f"process {proc.name!r} waits on channel {chan} "
+                f"without holding lock {lock_id}"
+            )
+        channel = self._chan(chan)
+        self._grant_next(lock_id, lock)
+        proc.state = _WAIT_CHAN
+        proc._wait_lock = lock_id
+        proc._blocked_since = self.now
+        channel.sleepers.append(proc)
+
+    def _do_wake(self, proc: SimProcess, chan: int) -> None:
+        channel = self._chan(chan)
+        n = len(channel.sleepers)
+        self.stats.wakes += 1
+        self.stats.woken += n
+        while channel.sleepers:
+            sleeper = channel.sleepers.popleft()
+            lock_id = sleeper._wait_lock
+            assert lock_id is not None
+            lock = self._lock(lock_id)
+            # The sleeper must reacquire its lock before resuming: enter
+            # the lock's FIFO (or take it if free).  Its WaitOn resumes
+            # only once the lock is held again.
+            if lock.owner is None:
+                lock.owner = sleeper
+                sleeper.state = _RUNNABLE
+                sleeper._wait_lock = None
+                sleeper.lock_wait_time += self.now - sleeper._blocked_since
+                self._schedule(sleeper, self.timing.acquire_cost())
+            else:
+                sleeper.state = _WAIT_LOCK
+                lock.waiters.append(sleeper)
+        self._schedule(proc, self.timing.wake_cost(n))

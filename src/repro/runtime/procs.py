@@ -1,0 +1,116 @@
+"""The process runtime: MPF over ``multiprocessing.shared_memory``.
+
+This is the closest analogue of the paper's deployment: "parallel
+programs consist of a group of Unix processes ... The shared memory used
+by MPF is implemented by mapping a region of physical memory into the
+virtual address space of each process" (§4).  Here the region is a POSIX
+shared-memory segment, locks are ``multiprocessing.Lock`` and wait
+channels ``multiprocessing.Condition`` objects, and workers are forked
+Unix processes.
+
+Requires the ``fork`` start method (workers may be closures and inherit
+the open segment); the runtime raises a clear error on platforms without
+it.  Worker return values travel back over a ``SimpleQueue`` and must be
+picklable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from multiprocessing import shared_memory
+from typing import Sequence
+
+from ..core.costmodel import Costs, DEFAULT_COSTS
+from ..core.layout import MPFConfig, SegmentLayout, format_region
+from ..core.ops import MPFView
+from ..core.region import SharedRegion
+from .base import Env, RunResult, Runtime, Worker, snapshot_header
+from .threads import RealSync, drive
+
+__all__ = ["ProcRuntime"]
+
+
+class ProcRuntime(Runtime):
+    """Run each worker in its own forked Unix process."""
+
+    kind = "procs"
+
+    def __init__(self, join_timeout: float | None = 120.0) -> None:
+        self.join_timeout = join_timeout
+
+    def run(
+        self,
+        workers: Sequence[Worker],
+        cfg: MPFConfig | None = None,
+        costs: Costs = DEFAULT_COSTS,
+        names: Sequence[str] | None = None,
+    ) -> RunResult:
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX platforms
+            raise RuntimeError(
+                "ProcRuntime requires the 'fork' start method (POSIX only)"
+            ) from exc
+
+        nprocs = len(workers)
+        cfg = self.default_config(nprocs, cfg)
+        names = self.process_names(nprocs, names)
+
+        shm = shared_memory.SharedMemory(create=True, size=SegmentLayout(cfg).total_size)
+        region = SharedRegion(shm.buf)
+        try:
+            layout = format_region(region, cfg)
+            view = MPFView(region, layout, costs)
+            sync = RealSync(cfg, ctx.Lock, ctx.Condition)
+            outq = ctx.SimpleQueue()
+
+            t0 = time.perf_counter()
+            clock = lambda: time.perf_counter() - t0  # noqa: E731
+
+            def body(name: str, rank: int, worker: Worker) -> None:
+                env = Env(view, rank, nprocs, clock)
+                try:
+                    outq.put((name, True, drive(worker(env), sync)))
+                except BaseException as exc:
+                    outq.put((name, False, repr(exc)))
+
+            procs = [
+                ctx.Process(target=body, args=(n, i, w), name=n, daemon=True)
+                for i, (n, w) in enumerate(zip(names, workers))
+            ]
+            for p in procs:
+                p.start()
+
+            results: dict[str, object] = {}
+            failures: dict[str, str] = {}
+            deadline = None if self.join_timeout is None else t0 + self.join_timeout
+            for _ in procs:
+                if deadline is not None and time.perf_counter() > deadline:
+                    break
+                name, ok, payload = outq.get()
+                if ok:
+                    results[name] = payload
+                else:
+                    failures[name] = payload
+            for p in procs:
+                p.join(1.0)
+                if p.is_alive():
+                    p.terminate()
+                    p.join(1.0)
+                    if p.name not in results and p.name not in failures:
+                        failures[p.name] = "worker did not finish (blocked receive?)"
+            if failures:
+                name = sorted(failures)[0]
+                raise RuntimeError(f"worker {name!r} failed: {failures[name]}")
+            header = snapshot_header(view)
+            return RunResult(
+                results=results,
+                elapsed=time.perf_counter() - t0,
+                kind=self.kind,
+                header=header,
+            )
+        finally:
+            region.release()
+            shm.close()
+            shm.unlink()

@@ -1,0 +1,151 @@
+"""The thread runtime: MPF over real ``threading`` primitives.
+
+Here the shared region is a plain ``bytearray`` visible to every thread,
+locks are ``threading.Lock`` objects and the per-circuit wait channels are
+``threading.Condition`` objects built *on the circuit's lock* — which
+gives :class:`~repro.core.effects.WaitOn` its atomic
+release-sleep-reacquire semantics for free.
+
+The GIL means threads cannot add parallel *speed* (and on this repo's
+reference host there is one CPU anyway), but they add real *concurrency*:
+preemption points interleave the byte-level data-structure manipulation
+arbitrarily, so this runtime is the one that stress-tests the locking
+discipline of :mod:`repro.core.ops` against real races.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Generator, Sequence
+
+from ..core.costmodel import Costs, DEFAULT_COSTS
+from ..core.effects import Acquire, Charge, Release, WaitOn, Wake
+from ..core.layout import MPFConfig, SegmentLayout, format_region
+from ..core.ops import MPFView
+from ..core.protocol import FIRST_LNVC_LOCK
+from ..core.region import SharedRegion
+from .base import Env, RunResult, Runtime, Worker, snapshot_header
+
+__all__ = ["ThreadRuntime", "drive", "RealSync"]
+
+
+class RealSync:
+    """Locks and conditions for a real (non-simulated) runtime.
+
+    ``conditions[slot]`` shares the lock object of circuit ``slot``; a
+    ``WaitOn(chan=slot, lock_id=FIRST_LNVC_LOCK + slot)`` maps directly to
+    ``conditions[slot].wait()``.
+    """
+
+    def __init__(self, cfg: MPFConfig, lock_factory, condition_factory) -> None:
+        self.locks = [lock_factory() for _ in range(cfg.n_locks)]
+        self.conditions = [
+            condition_factory(self.locks[FIRST_LNVC_LOCK + slot])
+            for slot in range(cfg.n_channels)
+        ]
+
+
+def drive(gen: Generator, sync: RealSync) -> object:
+    """Trampoline: run an effect generator against real primitives.
+
+    Returns the generator's return value.  ``Charge`` effects are free —
+    real time passes on its own.
+    """
+    value: object = None
+    while True:
+        try:
+            effect = gen.send(value)
+        except StopIteration as stop:
+            return stop.value
+        value = None
+        if isinstance(effect, Charge):
+            continue
+        if isinstance(effect, Acquire):
+            sync.locks[effect.lock_id].acquire()
+        elif isinstance(effect, Release):
+            sync.locks[effect.lock_id].release()
+        elif isinstance(effect, WaitOn):
+            expected = FIRST_LNVC_LOCK + effect.chan
+            if effect.lock_id != expected:
+                raise RuntimeError(
+                    f"WaitOn(chan={effect.chan}) under lock {effect.lock_id}; "
+                    f"expected circuit lock {expected}"
+                )
+            # The caller holds the circuit lock, which is exactly the
+            # condition's lock: wait() releases and reacquires atomically.
+            sync.conditions[effect.chan].wait()
+        elif isinstance(effect, Wake):
+            cond = sync.conditions[effect.chan]
+            # MPF wakes after releasing the circuit lock, so take the
+            # condition's lock briefly to notify.
+            with cond:
+                cond.notify_all()
+        else:
+            raise RuntimeError(f"non-effect {effect!r} yielded to real runtime")
+
+
+class ThreadRuntime(Runtime):
+    """Run each worker in its own OS thread."""
+
+    kind = "threads"
+
+    def __init__(self, join_timeout: float | None = 120.0) -> None:
+        #: Seconds to wait for worker threads; ``None`` waits forever.  A
+        #: blocked-forever receive (paper §3.2's lost-message hazard)
+        #: surfaces as a timeout error instead of a hang.
+        self.join_timeout = join_timeout
+        self.last_view: MPFView | None = None
+
+    def run(
+        self,
+        workers: Sequence[Worker],
+        cfg: MPFConfig | None = None,
+        costs: Costs = DEFAULT_COSTS,
+        names: Sequence[str] | None = None,
+    ) -> RunResult:
+        nprocs = len(workers)
+        cfg = self.default_config(nprocs, cfg)
+        names = self.process_names(nprocs, names)
+
+        region = SharedRegion(bytearray(SegmentLayout(cfg).total_size))
+        layout = format_region(region, cfg)
+        view = MPFView(region, layout, costs)
+        sync = RealSync(cfg, threading.Lock, threading.Condition)
+
+        t0 = time.perf_counter()
+        clock = lambda: time.perf_counter() - t0  # noqa: E731
+
+        results: dict[str, object] = {}
+        errors: dict[str, BaseException] = {}
+
+        def body(name: str, rank: int, worker: Worker) -> None:
+            env = Env(view, rank, nprocs, clock)
+            try:
+                results[name] = drive(worker(env), sync)
+            except BaseException as exc:  # surfaced after join
+                errors[name] = exc
+
+        threads = [
+            threading.Thread(target=body, args=(n, i, w), name=n, daemon=True)
+            for i, (n, w) in enumerate(zip(names, workers))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(self.join_timeout)
+            if t.is_alive():
+                raise TimeoutError(
+                    f"worker {t.name!r} did not finish within "
+                    f"{self.join_timeout}s (blocked receive?)"
+                )
+        if errors:
+            name = sorted(errors)[0]
+            raise errors[name]
+        self.last_view = view
+        return RunResult(
+            results=results,
+            elapsed=time.perf_counter() - t0,
+            kind=self.kind,
+            header=snapshot_header(view),
+        )

@@ -1,0 +1,77 @@
+"""Tests for the message-passing vs shared-memory paradigm study."""
+
+import numpy as np
+import pytest
+
+from repro.apps.paradigm import (
+    global_sum_mp,
+    global_sum_shm,
+    jacobi_mp,
+    jacobi_shm,
+    paradigm_penalty,
+)
+
+
+def _jacobi_reference(u0, iterations):
+    u = u0.astype(float).copy()
+    for _ in range(iterations):
+        u[1:-1] = 0.5 * (u[:-2] + u[2:])
+    return u
+
+
+@pytest.mark.parametrize("p", [1, 2, 4])
+def test_global_sum_mp_correct(p):
+    data = np.arange(40, dtype=float)
+    r = global_sum_mp(data, p, rounds=2)
+    assert r.value == pytest.approx(float(np.sum(data)))
+
+
+@pytest.mark.parametrize("p", [1, 2, 4])
+def test_global_sum_shm_correct(p):
+    data = np.arange(40, dtype=float)
+    r = global_sum_shm(data, p, rounds=2)
+    assert r.value == pytest.approx(float(np.sum(data)))
+
+
+@pytest.mark.parametrize("p", [1, 2, 3])
+def test_jacobi_mp_matches_reference(p):
+    u0 = np.random.default_rng(1).uniform(size=30)
+    r = jacobi_mp(u0, p, iterations=6)
+    assert np.allclose(r.value, _jacobi_reference(u0, 6))
+
+
+@pytest.mark.parametrize("p", [1, 2, 3])
+def test_jacobi_shm_matches_reference(p):
+    u0 = np.random.default_rng(2).uniform(size=30)
+    r = jacobi_shm(u0, p, iterations=6)
+    assert np.allclose(r.value, _jacobi_reference(u0, 6))
+
+
+def test_paradigms_numerically_identical():
+    u0 = np.random.default_rng(3).uniform(size=26)
+    mp = jacobi_mp(u0, 2, iterations=5)
+    shm = jacobi_shm(u0, 2, iterations=5)
+    assert np.allclose(mp.value, shm.value)
+
+
+def test_message_passing_pays_a_penalty():
+    """The paper's premise (§1): "this adaptation may incur a
+    substantial performance penalty" — the MP formulation of a
+    fine-grained kernel is slower than native shared variables."""
+    _, _, penalty = paradigm_penalty("sum", n=64, p=4)
+    assert penalty > 2.0
+    _, _, penalty = paradigm_penalty("jacobi", n=64, p=4)
+    assert penalty > 1.5
+
+
+def test_penalty_shrinks_with_compute_grain():
+    """More compute per coordination event dilutes the penalty — the
+    compute/communication balance of Figures 7 and 8."""
+    _, _, small = paradigm_penalty("jacobi", n=32, p=4)
+    _, _, large = paradigm_penalty("jacobi", n=512, p=4)
+    assert large < small
+
+
+def test_penalty_kernel_validation():
+    with pytest.raises(ValueError):
+        paradigm_penalty("nonsense", 10, 2)

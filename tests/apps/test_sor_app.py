@@ -1,0 +1,111 @@
+"""Tests for the SOR Poisson solver application (Figure 8)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.sor import (
+    PoissonProblem,
+    _block,
+    poisson_reference,
+    sor_parallel,
+    sor_per_iteration_speedup,
+    sor_sequential,
+    sor_sequential_sim_time,
+)
+from repro.runtime.threads import ThreadRuntime
+
+
+def test_problem_exact_solution_satisfies_boundary():
+    u = poisson_reference(9)
+    assert np.allclose(u[0, :], 0) and np.allclose(u[-1, :], 0)
+    assert np.allclose(u[:, 0], 0) and np.allclose(u[:, -1], 0)
+
+
+def test_omega_in_valid_sor_range():
+    for m in (9, 17, 33, 65):
+        om = PoissonProblem(m).omega_opt()
+        assert 1.0 < om < 2.0
+
+
+def test_block_decomposition_covers_interior():
+    for mi, n in ((7, 2), (15, 4), (63, 3), (63, 4)):
+        spans = [_block(mi, n, i) for i in range(n)]
+        assert spans[0][0] == 0 and spans[-1][1] == mi
+        for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+            assert a1 == b0
+
+
+def test_sequential_converges_to_analytic_solution():
+    r = sor_sequential(17, tol=1e-7)
+    assert r.converged
+    err = np.max(np.abs(r.u - poisson_reference(17)))
+    assert err < 5e-3  # discretization error at h = 1/16
+
+
+def test_sequential_discretization_error_shrinks_with_h():
+    e9 = np.max(np.abs(sor_sequential(9, tol=1e-9).u - poisson_reference(9)))
+    e33 = np.max(np.abs(sor_sequential(33, tol=1e-9).u - poisson_reference(33)))
+    assert e33 < e9 / 8  # second-order stencil: ~16x per 4x refinement
+
+
+def test_sequential_iteration_budget_respected():
+    r = sor_sequential(33, tol=1e-12, max_iters=5)
+    assert not r.converged
+    assert r.iterations == 5
+
+
+@pytest.mark.parametrize("n", [1, 2, 3])
+def test_parallel_equals_sequential_iterates(n):
+    rs = sor_sequential(17, tol=0.0, max_iters=4)
+    rp = sor_parallel(17, n, tol=0.0, max_iters=4)
+    assert rp.iterations == 4
+    assert np.allclose(rp.u, rs.u, atol=1e-12)
+
+
+def test_parallel_converges_like_sequential():
+    rs = sor_sequential(17, tol=1e-6)
+    rp = sor_parallel(17, 2, tol=1e-6)
+    assert rp.converged
+    assert rp.iterations == rs.iterations  # identical iteration, same stop
+    assert np.allclose(rp.u, rs.u, atol=1e-12)
+
+
+def test_parallel_uneven_blocks():
+    # 15 interior points over a 4x4 grid: blocks of 4 and 3.
+    rp = sor_parallel(17, 4, tol=0.0, max_iters=3)
+    rs = sor_sequential(17, tol=0.0, max_iters=3)
+    assert np.allclose(rp.u, rs.u, atol=1e-12)
+
+
+def test_parallel_on_threads_runtime():
+    rp = sor_parallel(9, 2, tol=0.0, max_iters=3,
+                      runtime=ThreadRuntime(join_timeout=60))
+    rs = sor_sequential(9, tol=0.0, max_iters=3)
+    assert np.allclose(rp.u, rs.u, atol=1e-12)
+
+
+def test_parallel_rejects_oversized_grid_of_processes():
+    with pytest.raises(ValueError):
+        sor_parallel(9, 8)  # 7 interior points cannot host 8 blocks
+
+
+def test_sequential_sim_time_linear_in_iterations():
+    t2 = sor_sequential_sim_time(17, 2)
+    t4 = sor_sequential_sim_time(17, 4)
+    assert t4 == pytest.approx(2 * t2, rel=1e-6)
+
+
+def test_per_iteration_speedup_shape_matches_paper():
+    """Figure 8's qualitative claims, as assertions."""
+    # Definitionally 1.0 at the N=2 baseline.
+    assert sor_per_iteration_speedup(33, 2) == pytest.approx(1.0)
+    # Large grids gain from more processors...
+    assert sor_per_iteration_speedup(65, 4) > 1.5
+    # ...small grids lose (communication dominates the tiny subgrids).
+    assert sor_per_iteration_speedup(9, 4) < 1.0
+
+
+def test_monitor_stops_all_workers_together():
+    # Convergence broadcast: every worker runs the same iteration count.
+    rp = sor_parallel(17, 3, tol=1e-5)
+    assert rp.converged

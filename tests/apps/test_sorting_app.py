@@ -1,0 +1,82 @@
+"""Tests for the odd-even transposition sort application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.sorting import (
+    _blocks,
+    make_keys,
+    odd_even_sort_parallel,
+    sort_speedup,
+)
+from repro.runtime.threads import ThreadRuntime
+
+
+def test_blocks_cover_and_balance():
+    for n, p in ((100, 7), (16, 4), (9, 9), (10, 3)):
+        spans = _blocks(n, p)
+        assert spans[0][0] == 0 and spans[-1][1] == n
+        sizes = [hi - lo for lo, hi in spans]
+        assert max(sizes) - min(sizes) <= 1
+
+
+def test_make_keys_deterministic():
+    assert np.array_equal(make_keys(32, seed=5), make_keys(32, seed=5))
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 4, 5])
+def test_parallel_sort_correct(p):
+    keys = make_keys(60, seed=p)
+    result = odd_even_sort_parallel(keys, p)
+    assert np.array_equal(result.keys, np.sort(keys))
+
+
+def test_sort_with_duplicates():
+    keys = np.array([3.0, 1.0, 3.0, 2.0, 1.0, 2.0, 3.0, 0.0] * 4)
+    result = odd_even_sort_parallel(keys, 4)
+    assert np.array_equal(result.keys, np.sort(keys))
+
+
+def test_sort_already_sorted_input():
+    keys = np.arange(40, dtype=float)
+    result = odd_even_sort_parallel(keys, 4)
+    assert np.array_equal(result.keys, keys)
+
+
+def test_sort_reverse_sorted_input():
+    keys = np.arange(40, dtype=float)[::-1].copy()
+    result = odd_even_sort_parallel(keys, 4)
+    assert np.array_equal(result.keys, np.sort(keys))
+
+
+def test_sort_uneven_blocks():
+    keys = make_keys(47)
+    result = odd_even_sort_parallel(keys, 5)
+    assert np.array_equal(result.keys, np.sort(keys))
+
+
+def test_sort_on_threads_runtime():
+    keys = make_keys(30)
+    result = odd_even_sort_parallel(
+        keys, 3, runtime=ThreadRuntime(join_timeout=60)
+    )
+    assert np.array_equal(result.keys, np.sort(keys))
+
+
+def test_sort_rejects_bad_p():
+    keys = make_keys(8)
+    with pytest.raises(ValueError):
+        odd_even_sort_parallel(keys, 0)
+    with pytest.raises(ValueError):
+        odd_even_sort_parallel(keys, 9)
+
+
+def test_speedup_positive_and_bounded():
+    s = sort_speedup(512, 4)
+    assert 0 < s < 4
+
+
+def test_more_keys_better_speedup():
+    # Constant comm/compute ratio per phase, but the P phases of block
+    # exchange amortize better when merges are bigger.
+    assert sort_speedup(2048, 4) > sort_speedup(128, 4)

@@ -1,0 +1,88 @@
+"""Tests for the archive-comparison tool."""
+
+import json
+
+import pytest
+
+from repro.bench.compare import PointDelta, compare_archives, main
+
+
+def archive(values):
+    return [
+        {
+            "figure": "Figure T",
+            "series": [
+                {
+                    "label": "s",
+                    "points": [{"x": x, "y": y} for x, y in values],
+                }
+            ],
+        }
+    ]
+
+
+def test_identical_archives_no_deltas_over_zero():
+    a = archive([(1, 10.0), (2, 20.0)])
+    deltas, missing = compare_archives(a, a)
+    assert [d.rel for d in deltas] == [0.0, 0.0]
+    assert missing == []
+
+
+def test_relative_change_computed():
+    before = archive([(1, 100.0)])
+    after = archive([(1, 110.0)])
+    (d,), _ = compare_archives(before, after)
+    assert d.rel == pytest.approx(0.10)
+
+
+def test_zero_baseline():
+    (d,), _ = compare_archives(archive([(1, 0.0)]), archive([(1, 5.0)]))
+    assert d.rel == float("inf")
+    (d,), _ = compare_archives(archive([(1, 0.0)]), archive([(1, 0.0)]))
+    assert d.rel == 0.0
+
+
+def test_missing_points_reported():
+    before = archive([(1, 10.0), (2, 20.0)])
+    after = archive([(1, 10.0), (3, 30.0)])
+    deltas, missing = compare_archives(before, after)
+    assert len(deltas) == 1
+    assert ("Figure T", "s", 2) in missing
+    assert ("Figure T", "s", 3) in missing
+
+
+def write(tmp_path, name, data):
+    p = tmp_path / name
+    p.write_text(json.dumps(data))
+    return str(p)
+
+
+def test_cli_pass_within_tolerance(tmp_path, capsys):
+    a = write(tmp_path, "a.json", archive([(1, 100.0)]))
+    b = write(tmp_path, "b.json", archive([(1, 102.0)]))
+    assert main([a, b, "--tolerance", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "+2.0%" in out
+
+
+def test_cli_fail_over_tolerance(tmp_path, capsys):
+    a = write(tmp_path, "a.json", archive([(1, 100.0)]))
+    b = write(tmp_path, "b.json", archive([(1, 150.0)]))
+    assert main([a, b, "--tolerance", "0.05"]) == 1
+    assert "exceeds tolerance" in capsys.readouterr().out
+
+
+def test_cli_fail_on_missing(tmp_path, capsys):
+    a = write(tmp_path, "a.json", archive([(1, 100.0)]))
+    b = write(tmp_path, "b.json", archive([(2, 100.0)]))
+    assert main([a, b]) == 1
+    assert "only in one archive" in capsys.readouterr().out
+
+
+def test_real_archive_self_compare(tmp_path):
+    """The tool accepts real harness output (quick fig3)."""
+    from repro.bench.figures import fig3
+
+    data = [fig3(True).to_dict()]
+    a = write(tmp_path, "a.json", data)
+    assert main([a, a]) == 0

@@ -1,0 +1,90 @@
+"""Tests for the sweep harness, table formatting and ASCII plotting."""
+
+import json
+
+from repro.bench.harness import BenchPoint, Series, SweepResult, format_rate, run_series
+from repro.bench.plot import ascii_plot
+
+
+def sample_result():
+    r = SweepResult("Figure X", "A demo sweep", "size", "rate")
+    a = r.new_series("alpha")
+    a.add(1, 100.0)
+    a.add(2, 250.0, note="hi")
+    b = r.new_series("beta")
+    b.add(1, 50.0)
+    b.add(4, 400.0)
+    r.note("shape: up and to the right")
+    return r
+
+
+def test_series_accessors():
+    s = Series("s")
+    s.add(1, 2.0)
+    s.add(3, 4.0)
+    assert s.xs() == [1, 3]
+    assert s.ys() == [2.0, 4.0]
+
+
+def test_benchpoint_extra():
+    p = BenchPoint(1, 2.0, {"faults": 7})
+    assert p.extra["faults"] == 7
+
+
+def test_format_rate():
+    assert format_rate(0) == "0"
+    assert format_rate(3.14159) == "3.14"
+    assert format_rate(687245) == "687,245"
+
+
+def test_table_contains_all_points_and_gaps():
+    text = sample_result().format_table()
+    assert "Figure X" in text
+    assert "alpha" in text and "beta" in text
+    assert "100" in text and "400" in text
+    assert "-" in text  # x=2 missing from beta, x=4 from alpha
+    assert "shape: up and to the right" in text
+
+
+def test_table_rows_sorted_by_x():
+    # Layout: title, y-label, header, separator, then data rows.
+    lines = sample_result().format_table().splitlines()
+    data = [ln.split()[0] for ln in lines[4:7]]
+    assert data == ["1", "2", "4"]
+
+
+def test_to_dict_json_roundtrip():
+    d = sample_result().to_dict()
+    parsed = json.loads(json.dumps(d))
+    assert parsed["figure"] == "Figure X"
+    assert len(parsed["series"]) == 2
+    assert parsed["series"][0]["points"][1]["extra"] == {"note": "hi"}
+
+
+def test_run_series_helper():
+    r = SweepResult("F", "t", "x", "y")
+    series = run_series(r, "squares", [1, 2, 3], lambda x: (x * x, {"x2": x}))
+    assert series.ys() == [1, 4, 9]
+    assert r.series[0] is series
+
+
+def test_ascii_plot_renders_all_series():
+    text = ascii_plot(sample_result(), width=40, height=10)
+    assert "Figure X" in text
+    assert "o=alpha" in text and "x=beta" in text
+    body = [ln for ln in text.splitlines() if "|" in ln]
+    assert len(body) == 10
+    assert any("o" in ln for ln in body)
+    assert any("x" in ln for ln in body)
+
+
+def test_ascii_plot_empty():
+    r = SweepResult("F", "t", "x", "y")
+    assert "(no data)" in ascii_plot(r)
+
+
+def test_ascii_plot_overlap_marker():
+    r = SweepResult("F", "t", "x", "y")
+    r.new_series("a").add(1, 10.0)
+    r.new_series("b").add(1, 10.0)
+    assert "*" in ascii_plot(r, width=10, height=5)

@@ -1,0 +1,19 @@
+"""Shared pytest fixtures for the MPF reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testing import DirectRunner, make_view
+
+
+@pytest.fixture
+def view():
+    """A freshly formatted small segment."""
+    return make_view()
+
+
+@pytest.fixture
+def runner(view):
+    """A :class:`repro.testing.DirectRunner` over the ``view`` fixture."""
+    return DirectRunner(view)

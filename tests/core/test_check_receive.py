@@ -1,0 +1,95 @@
+"""Unit tests for check_receive."""
+
+import pytest
+
+from repro.core import ops
+from repro.core.errors import NotConnectedError, UnknownLNVCError
+from repro.core.protocol import BROADCAST, FCFS
+from repro.testing import DirectRunner, make_view
+
+
+@pytest.fixture
+def v():
+    return make_view()
+
+
+@pytest.fixture
+def r(v):
+    return DirectRunner(v)
+
+
+def test_empty_circuit_reports_zero(r, v):
+    cid = r.run(ops.open_receive(v, 0, "c", FCFS))
+    assert r.run(ops.check_receive(v, 0, cid)) == 0
+
+
+def test_counts_queued_fcfs_messages(r, v):
+    cid = r.run(ops.open_send(v, 0, "c"))
+    r.run(ops.open_receive(v, 1, "c", FCFS))
+    for _ in range(3):
+        r.run(ops.message_send(v, 0, cid, b"x"))
+    assert r.run(ops.check_receive(v, 1, cid)) == 3
+
+
+def test_count_decreases_as_messages_consumed(r, v):
+    cid = r.run(ops.open_send(v, 0, "c"))
+    r.run(ops.open_receive(v, 1, "c", FCFS))
+    r.run(ops.message_send(v, 0, cid, b"x"))
+    r.run(ops.message_send(v, 0, cid, b"y"))
+    r.run(ops.message_receive(v, 1, cid))
+    assert r.run(ops.check_receive(v, 1, cid)) == 1
+
+
+def test_broadcast_count_is_per_receiver(r, v):
+    cid = r.run(ops.open_send(v, 0, "c"))
+    r.run(ops.open_receive(v, 1, "c", BROADCAST))
+    r.run(ops.open_receive(v, 2, "c", BROADCAST))
+    r.run(ops.message_send(v, 0, cid, b"x"))
+    r.run(ops.message_send(v, 0, cid, b"y"))
+    r.run(ops.message_receive(v, 1, cid))
+    assert r.run(ops.check_receive(v, 1, cid)) == 1
+    assert r.run(ops.check_receive(v, 2, cid)) == 2
+
+
+def test_fcfs_check_sees_messages_another_fcfs_may_steal(r, v):
+    # The documented race: the count is advisory for FCFS (paper §2).
+    cid = r.run(ops.open_send(v, 0, "c"))
+    r.run(ops.open_receive(v, 1, "c", FCFS))
+    r.run(ops.open_receive(v, 2, "c", FCFS))
+    r.run(ops.message_send(v, 0, cid, b"x"))
+    assert r.run(ops.check_receive(v, 1, cid)) == 1
+    assert r.run(ops.check_receive(v, 2, cid)) == 1
+    r.run(ops.message_receive(v, 2, cid))  # pid 2 wins the race
+    assert r.run(ops.check_receive(v, 1, cid)) == 0
+
+
+def test_broadcast_count_guaranteed_deliverable(r, v):
+    # "If the receive connection is BROADCAST, the message is guaranteed
+    # to be present when a message_receive() is executed."
+    cid = r.run(ops.open_send(v, 0, "c"))
+    r.run(ops.open_receive(v, 1, "c", BROADCAST))
+    r.run(ops.open_receive(v, 2, "c", FCFS))
+    r.run(ops.message_send(v, 0, cid, b"x"))
+    r.run(ops.message_receive(v, 2, cid))  # FCFS consumes its share
+    assert r.run(ops.check_receive(v, 1, cid)) == 1
+    assert r.run(ops.message_receive(v, 1, cid)) == b"x"
+
+
+def test_requires_receive_connection(r, v):
+    cid = r.run(ops.open_send(v, 0, "c"))
+    with pytest.raises(NotConnectedError):
+        r.run(ops.check_receive(v, 0, cid))
+
+
+def test_unknown_circuit(r, v):
+    with pytest.raises(UnknownLNVCError):
+        r.run(ops.check_receive(v, 0, 31337))
+
+
+def test_check_does_not_consume(r, v):
+    cid = r.run(ops.open_send(v, 0, "c"))
+    r.run(ops.open_receive(v, 1, "c", FCFS))
+    r.run(ops.message_send(v, 0, cid, b"x"))
+    for _ in range(5):
+        assert r.run(ops.check_receive(v, 1, cid)) == 1
+    assert r.run(ops.message_receive(v, 1, cid)) == b"x"

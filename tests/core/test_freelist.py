@@ -1,0 +1,80 @@
+"""Unit tests for the intrusive free lists."""
+
+import pytest
+
+from repro.core.freelist import fl_alloc, fl_count, fl_free, init_freelist
+from repro.core.protocol import NIL
+from repro.core.region import SharedRegion
+
+HEAD = 0
+BASE = 16
+STRIDE = 12
+
+
+def _region(count=5):
+    r = SharedRegion(bytearray(BASE + count * STRIDE + 64))
+    init_freelist(r, HEAD, BASE, STRIDE, count)
+    return r
+
+
+def test_init_links_all_records():
+    r = _region(5)
+    assert fl_count(r, HEAD) == 5
+
+
+def test_init_zero_count_is_empty():
+    r = SharedRegion(bytearray(64))
+    init_freelist(r, HEAD, BASE, STRIDE, 0)
+    assert r.u32(HEAD) == NIL
+    assert fl_count(r, HEAD) == 0
+
+
+def test_alloc_returns_records_in_address_order():
+    r = _region(3)
+    assert fl_alloc(r, HEAD) == BASE
+    assert fl_alloc(r, HEAD) == BASE + STRIDE
+    assert fl_alloc(r, HEAD) == BASE + 2 * STRIDE
+
+
+def test_alloc_exhaustion_returns_nil():
+    r = _region(2)
+    fl_alloc(r, HEAD)
+    fl_alloc(r, HEAD)
+    assert fl_alloc(r, HEAD) == NIL
+
+
+def test_free_is_lifo():
+    r = _region(3)
+    a = fl_alloc(r, HEAD)
+    b = fl_alloc(r, HEAD)
+    fl_free(r, HEAD, a)
+    fl_free(r, HEAD, b)
+    assert fl_alloc(r, HEAD) == b
+    assert fl_alloc(r, HEAD) == a
+
+
+def test_alloc_free_preserves_count():
+    r = _region(4)
+    offs = [fl_alloc(r, HEAD) for _ in range(4)]
+    for off in offs:
+        fl_free(r, HEAD, off)
+    assert fl_count(r, HEAD) == 4
+
+
+def test_count_detects_cycle():
+    r = _region(2)
+    a = fl_alloc(r, HEAD)
+    fl_free(r, HEAD, a)
+    # Corrupt: make the record point at itself.
+    r.set_u32(a, a)
+    with pytest.raises(RuntimeError, match="cycle"):
+        fl_count(r, HEAD, limit=10)
+
+
+def test_single_record_pool():
+    r = SharedRegion(bytearray(64))
+    init_freelist(r, HEAD, BASE, STRIDE, 1)
+    assert fl_alloc(r, HEAD) == BASE
+    assert fl_alloc(r, HEAD) == NIL
+    fl_free(r, HEAD, BASE)
+    assert fl_alloc(r, HEAD) == BASE

@@ -1,0 +1,107 @@
+"""Tests for the read-only segment inspector."""
+
+import pytest
+
+from repro.core import ops
+from repro.core.inspect import inspect_segment, render_segment
+from repro.core.protocol import BROADCAST, FCFS, MsgFlags
+from repro.testing import DirectRunner, make_view
+
+
+@pytest.fixture
+def v():
+    return make_view()
+
+
+@pytest.fixture
+def r(v):
+    return DirectRunner(v)
+
+
+def test_empty_segment(v):
+    info = inspect_segment(v)
+    assert info.circuits == []
+    assert info.live_msgs == 0
+    assert info.free_msg == v.cfg.max_messages
+
+
+def test_circuit_reported_with_name_and_counts(v, r):
+    cid = r.run(ops.open_send(v, 3, "topic"))
+    r.run(ops.open_receive(v, 4, "topic", FCFS))
+    r.run(ops.open_receive(v, 5, "topic", BROADCAST))
+    info = inspect_segment(v)
+    c = info.circuit("topic")
+    assert c.lnvc_id == cid
+    assert (c.n_senders, c.n_fcfs, c.n_bcast) == (1, 1, 1)
+    kinds = sorted((x.kind, x.pid) for x in c.connections)
+    assert kinds == [("recv", 4), ("recv", 5), ("send", 3)]
+
+
+def test_messages_listed_in_fifo_order(v, r):
+    cid = r.run(ops.open_send(v, 0, "q"))
+    for i in range(3):
+        r.run(ops.message_send(v, 0, cid, bytes(10 + i)))
+    msgs = inspect_segment(v).circuit("q").messages
+    assert [m.seqno for m in msgs] == [0, 1, 2]
+    assert [m.length for m in msgs] == [10, 11, 12]
+    assert all(m.sender == 0 for m in msgs)
+
+
+def test_broadcast_backlog_per_receiver(v, r):
+    cid = r.run(ops.open_send(v, 0, "q"))
+    r.run(ops.open_receive(v, 1, "q", BROADCAST))
+    r.run(ops.open_receive(v, 2, "q", BROADCAST))
+    for _ in range(3):
+        r.run(ops.message_send(v, 0, cid, b"z"))
+    r.run(ops.message_receive(v, 1, cid))
+    backlogs = {
+        c.pid: c.backlog
+        for c in inspect_segment(v).circuit("q").connections
+        if c.kind == "recv"
+    }
+    assert backlogs == {1: 2, 2: 3}
+
+
+def test_pool_occupancy_tracks_allocations(v, r):
+    cid = r.run(ops.open_send(v, 0, "q"))
+    before = inspect_segment(v)
+    r.run(ops.message_send(v, 0, cid, b"x" * 25))  # 3 blocks + 1 header
+    after = inspect_segment(v)
+    assert before.free_msg - after.free_msg == 1
+    assert before.free_blk - after.free_blk == 3
+    assert after.live_bytes == 25
+
+
+def test_flags_visible(v, r):
+    cid = r.run(ops.open_send(v, 0, "q"))
+    r.run(ops.open_receive(v, 1, "q", FCFS))
+    r.run(ops.message_send(v, 0, cid, b"m"))
+    m = inspect_segment(v).circuit("q").messages[0]
+    assert m.flags & MsgFlags.FCFS_EXPECTED
+    assert m.flags & MsgFlags.HAD_RECEIVERS
+
+
+def test_unknown_circuit_raises(v):
+    with pytest.raises(KeyError):
+        inspect_segment(v).circuit("nope")
+
+
+def test_render_is_readable(v, r):
+    cid = r.run(ops.open_send(v, 0, "report"))
+    r.run(ops.open_receive(v, 1, "report", FCFS))
+    r.run(ops.message_send(v, 0, cid, b"hello"))
+    text = render_segment(inspect_segment(v))
+    assert "circuit 'report'" in text
+    assert "send pid=0" in text
+    assert "recv pid=1 FCFS" in text
+    assert "5B in 1 block(s)" in text
+
+
+def test_inspector_does_not_perturb_state(v, r):
+    cid = r.run(ops.open_send(v, 0, "q"))
+    r.run(ops.open_receive(v, 0, "q", FCFS))
+    r.run(ops.message_send(v, 0, cid, b"payload"))
+    snap1 = inspect_segment(v)
+    snap2 = inspect_segment(v)
+    assert snap1 == snap2
+    assert r.run(ops.message_receive(v, 0, cid)) == b"payload"

@@ -1,0 +1,199 @@
+"""Unit tests for open_send / open_receive / close_send / close_receive."""
+
+import pytest
+
+from repro.core import ops
+from repro.core.errors import (
+    DuplicateConnectionError,
+    MPFNameError,
+    NoFreeLNVCError,
+    NotConnectedError,
+    OutOfDescriptorsError,
+    ProtocolViolationError,
+    UnknownLNVCError,
+)
+from repro.core.layout import HDR
+from repro.core.protocol import BROADCAST, FCFS
+from repro.core.structs import LNVC
+
+from repro.testing import DirectRunner, make_view
+
+
+def test_open_send_creates_circuit(view, runner):
+    cid = runner.run(ops.open_send(view, 0, "alpha"))
+    slot = view.resolve(cid)
+    base = view.layout.lnvc_off(slot)
+    assert LNVC.get(view.region, base, "n_senders") == 1
+    assert view.read_name(slot) == b"alpha"
+    assert HDR.get(view.region, "live_lnvcs") == 1
+
+
+def test_open_send_joins_existing_circuit(view, runner):
+    a = runner.run(ops.open_send(view, 0, "alpha"))
+    b = runner.run(ops.open_send(view, 1, "alpha"))
+    assert a == b
+    assert HDR.get(view.region, "live_lnvcs") == 1
+
+
+def test_open_receive_joins_same_named_circuit(view, runner):
+    a = runner.run(ops.open_send(view, 0, "alpha"))
+    b = runner.run(ops.open_receive(view, 1, "alpha", FCFS))
+    assert a == b
+
+
+def test_distinct_names_get_distinct_circuits(view, runner):
+    a = runner.run(ops.open_send(view, 0, "alpha"))
+    b = runner.run(ops.open_send(view, 0, "beta"))
+    assert a != b
+    assert HDR.get(view.region, "live_lnvcs") == 2
+
+
+def test_receiver_counts_by_protocol(view, runner):
+    cid = runner.run(ops.open_receive(view, 0, "c", FCFS))
+    runner.run(ops.open_receive(view, 1, "c", BROADCAST))
+    runner.run(ops.open_receive(view, 2, "c", BROADCAST))
+    base = view.layout.lnvc_off(view.resolve(cid))
+    assert LNVC.get(view.region, base, "n_fcfs") == 1
+    assert LNVC.get(view.region, base, "n_bcast") == 2
+
+
+def test_duplicate_send_rejected(view, runner):
+    runner.run(ops.open_send(view, 0, "c"))
+    with pytest.raises(DuplicateConnectionError):
+        runner.run(ops.open_send(view, 0, "c"))
+
+
+def test_duplicate_receive_rejected(view, runner):
+    runner.run(ops.open_receive(view, 0, "c", FCFS))
+    with pytest.raises(DuplicateConnectionError):
+        runner.run(ops.open_receive(view, 0, "c", FCFS))
+
+
+def test_mixed_protocols_rejected_for_one_process(view, runner):
+    # Paper §1 footnote 3: "a receiving process of an LNVC cannot use
+    # both FCFS and BROADCAST protocols."
+    runner.run(ops.open_receive(view, 0, "c", FCFS))
+    with pytest.raises(ProtocolViolationError):
+        runner.run(ops.open_receive(view, 0, "c", BROADCAST))
+
+
+def test_process_may_send_and_receive_on_same_circuit(view, runner):
+    # Loop-back is legal (the paper's `base` benchmark depends on it).
+    s = runner.run(ops.open_send(view, 0, "loop"))
+    r = runner.run(ops.open_receive(view, 0, "loop", FCFS))
+    assert s == r
+
+
+def test_same_process_different_circuits_independent(view, runner):
+    runner.run(ops.open_receive(view, 0, "c1", FCFS))
+    runner.run(ops.open_receive(view, 0, "c2", BROADCAST))  # fine: other circuit
+
+
+@pytest.mark.parametrize("bad", ["", "x" * 64, 123, None])
+def test_invalid_names_rejected(view, runner, bad):
+    with pytest.raises(MPFNameError):
+        runner.run(ops.open_send(view, 0, bad))
+
+
+def test_unicode_name_accepted(view, runner):
+    cid = runner.run(ops.open_send(view, 0, "conversation-α"))
+    assert view.read_name(view.resolve(cid)).decode("utf-8").endswith("α")
+
+
+def test_table_exhaustion(runner):
+    v = make_view(max_lnvcs=2)
+    r = DirectRunner(v)
+    r.run(ops.open_send(v, 0, "a"))
+    r.run(ops.open_send(v, 0, "b"))
+    with pytest.raises(NoFreeLNVCError):
+        r.run(ops.open_send(v, 0, "c"))
+
+
+def test_descriptor_exhaustion():
+    v = make_view(send_descriptors=2, recv_descriptors=1)
+    r = DirectRunner(v)
+    r.run(ops.open_send(v, 0, "a"))
+    r.run(ops.open_send(v, 1, "a"))
+    with pytest.raises(OutOfDescriptorsError):
+        r.run(ops.open_send(v, 2, "a"))
+    r.run(ops.open_receive(v, 3, "a", FCFS))
+    with pytest.raises(OutOfDescriptorsError):
+        r.run(ops.open_receive(v, 4, "a", FCFS))
+
+
+def test_close_send_removes_connection(view, runner):
+    cid = runner.run(ops.open_send(view, 0, "c"))
+    runner.run(ops.open_send(view, 1, "c"))
+    runner.run(ops.close_send(view, 0, cid))
+    base = view.layout.lnvc_off(view.resolve(cid))
+    assert LNVC.get(view.region, base, "n_senders") == 1
+
+
+def test_close_last_connection_deletes_circuit(view, runner):
+    cid = runner.run(ops.open_send(view, 0, "c"))
+    runner.run(ops.close_send(view, 0, cid))
+    assert HDR.get(view.region, "live_lnvcs") == 0
+    with pytest.raises(UnknownLNVCError):
+        view.resolve(cid)
+
+
+def test_deleted_circuit_id_is_stale_after_name_reuse(view, runner):
+    cid = runner.run(ops.open_send(view, 0, "c"))
+    runner.run(ops.close_send(view, 0, cid))
+    cid2 = runner.run(ops.open_send(view, 0, "c"))
+    assert cid2 != cid  # generation bumped
+    with pytest.raises(UnknownLNVCError):
+        runner.run(ops.close_send(view, 0, cid))
+
+
+def test_close_send_not_connected(view, runner):
+    cid = runner.run(ops.open_send(view, 0, "c"))
+    with pytest.raises(NotConnectedError):
+        runner.run(ops.close_send(view, 1, cid))
+
+
+def test_close_receive_not_connected(view, runner):
+    cid = runner.run(ops.open_receive(view, 0, "c", FCFS))
+    with pytest.raises(NotConnectedError):
+        runner.run(ops.close_receive(view, 1, cid))
+
+
+def test_close_receive_wrong_kind(view, runner):
+    cid = runner.run(ops.open_send(view, 0, "c"))
+    runner.run(ops.open_receive(view, 1, "c", FCFS))
+    with pytest.raises(NotConnectedError):
+        runner.run(ops.close_receive(view, 0, cid))
+
+
+def test_close_unknown_id(view, runner):
+    with pytest.raises(UnknownLNVCError):
+        runner.run(ops.close_send(view, 0, 9999))
+
+
+def test_descriptors_recycled_after_close():
+    v = make_view(send_descriptors=1)
+    r = DirectRunner(v)
+    for _ in range(5):
+        cid = r.run(ops.open_send(v, 0, "c"))
+        r.run(ops.close_send(v, 0, cid))
+
+
+def test_circuit_slots_recycled():
+    v = make_view(max_lnvcs=1)
+    r = DirectRunner(v)
+    for i in range(4):
+        cid = r.run(ops.open_send(v, 0, f"c{i}"))
+        r.run(ops.close_send(v, 0, cid))
+    assert HDR.get(v.region, "live_lnvcs") == 0
+
+
+def test_queued_messages_discarded_on_delete(view, runner):
+    cid = runner.run(ops.open_send(view, 0, "c"))
+    runner.run(ops.message_send(view, 0, cid, b"doomed"))
+    runner.run(ops.message_send(view, 0, cid, b"also doomed"))
+    assert HDR.get(view.region, "live_msgs") == 2
+    runner.run(ops.close_send(view, 0, cid))
+    # Paper §2: "the LNVC is deleted and all unread messages are discarded."
+    assert HDR.get(view.region, "live_msgs") == 0
+    assert HDR.get(view.region, "live_blocks") == 0
+    assert HDR.get(view.region, "live_bytes") == 0

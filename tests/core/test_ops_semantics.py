@@ -1,0 +1,266 @@
+"""Delivery-semantics tests: FCFS exactly-once, BROADCAST all-see-all,
+mixed protocols, retirement and the close_receive garbage problem."""
+
+import pytest
+
+from repro.core import ops
+from repro.core.layout import HDR
+from repro.core.protocol import BROADCAST, FCFS, MsgFlags, NIL
+from repro.core.structs import LNVC, MSG
+from repro.testing import BlockedError, DirectRunner, make_view
+
+
+@pytest.fixture
+def v():
+    return make_view()
+
+
+@pytest.fixture
+def r(v):
+    return DirectRunner(v)
+
+
+def _setup(r, v, n_fcfs=0, n_bcast=0, name="c", sender=0):
+    """Open a sender plus receivers; returns (cid, fcfs_pids, bcast_pids)."""
+    cid = r.run(ops.open_send(v, sender, name))
+    fcfs = list(range(10, 10 + n_fcfs))
+    bcast = list(range(20, 20 + n_bcast))
+    for pid in fcfs:
+        r.run(ops.open_receive(v, pid, name, FCFS))
+    for pid in bcast:
+        r.run(ops.open_receive(v, pid, name, BROADCAST))
+    return cid, fcfs, bcast
+
+
+class TestFCFS:
+    def test_each_message_to_exactly_one_receiver(self, r, v):
+        cid, fcfs, _ = _setup(r, v, n_fcfs=3)
+        for i in range(6):
+            r.run(ops.message_send(v, 0, cid, f"m{i}".encode()))
+        got = []
+        for i in range(6):
+            pid = fcfs[i % 3]
+            got.append(r.run(ops.message_receive(v, pid, cid)))
+        assert sorted(got) == [f"m{i}".encode() for i in range(6)]
+        # All consumed: a seventh receive would block.
+        with pytest.raises(BlockedError):
+            r.run(ops.message_receive(v, fcfs[0], cid))
+
+    def test_substream_is_time_ordered(self, r, v):
+        # "the sequence preserving LNVC forces a time-ordering of this
+        # sub-stream as well."
+        cid, fcfs, _ = _setup(r, v, n_fcfs=2)
+        for i in range(8):
+            r.run(ops.message_send(v, 0, cid, bytes([i])))
+        seen_by_a = [r.run(ops.message_receive(v, fcfs[0], cid)) for _ in range(3)]
+        assert seen_by_a == sorted(seen_by_a)
+
+    def test_fcfs_receiver_gets_messages_sent_before_join(self, r, v):
+        # Conversation semantics: messages queue; a later FCFS joiner
+        # may consume them (paper §3.2 lost-message discussion).
+        cid = r.run(ops.open_send(v, 0, "c"))
+        r.run(ops.message_send(v, 0, cid, b"early"))
+        rid = r.run(ops.open_receive(v, 5, "c", FCFS))
+        assert r.run(ops.message_receive(v, 5, rid)) == b"early"
+
+    def test_queue_drains_as_receivers_consume(self, r, v):
+        cid, fcfs, _ = _setup(r, v, n_fcfs=1)
+        for i in range(4):
+            r.run(ops.message_send(v, 0, cid, bytes([i])))
+        assert HDR.get(v.region, "live_msgs") == 4
+        r.run(ops.message_receive(v, fcfs[0], cid))
+        r.run(ops.message_receive(v, fcfs[0], cid))
+        assert HDR.get(v.region, "live_msgs") == 2
+
+
+class TestBroadcast:
+    def test_every_receiver_sees_every_message_in_order(self, r, v):
+        cid, _, bcast = _setup(r, v, n_bcast=3)
+        msgs = [f"b{i}".encode() for i in range(5)]
+        for m in msgs:
+            r.run(ops.message_send(v, 0, cid, m))
+        for pid in bcast:
+            assert [
+                r.run(ops.message_receive(v, pid, cid)) for _ in range(5)
+            ] == msgs
+
+    def test_receivers_progress_independently(self, r, v):
+        cid, _, bcast = _setup(r, v, n_bcast=2)
+        for i in range(3):
+            r.run(ops.message_send(v, 0, cid, bytes([i])))
+        # Receiver A reads all three; B has read nothing yet.
+        for i in range(3):
+            assert r.run(ops.message_receive(v, bcast[0], cid)) == bytes([i])
+        assert HDR.get(v.region, "live_msgs") == 3  # held for B
+        for i in range(3):
+            assert r.run(ops.message_receive(v, bcast[1], cid)) == bytes([i])
+        assert HDR.get(v.region, "live_msgs") == 0
+
+    def test_late_joiner_sees_only_new_messages(self, r, v):
+        cid, _, bcast = _setup(r, v, n_bcast=1)
+        r.run(ops.message_send(v, 0, cid, b"before"))
+        late = 30
+        r.run(ops.open_receive(v, late, "c", BROADCAST))
+        r.run(ops.message_send(v, 0, cid, b"after"))
+        assert r.run(ops.message_receive(v, late, cid)) == b"after"
+        # The original receiver still sees both.
+        assert r.run(ops.message_receive(v, bcast[0], cid)) == b"before"
+        assert r.run(ops.message_receive(v, bcast[0], cid)) == b"after"
+
+
+class TestMixed:
+    def test_message_goes_to_all_bcast_and_one_fcfs(self, r, v):
+        # "a message will be sent to all BROADCAST receiving processes
+        # and to only one of the FCFS processes."
+        cid, fcfs, bcast = _setup(r, v, n_fcfs=2, n_bcast=2)
+        r.run(ops.message_send(v, 0, cid, b"shared"))
+        assert r.run(ops.message_receive(v, bcast[0], cid)) == b"shared"
+        assert r.run(ops.message_receive(v, bcast[1], cid)) == b"shared"
+        assert r.run(ops.message_receive(v, fcfs[0], cid)) == b"shared"
+        with pytest.raises(BlockedError):
+            r.run(ops.message_receive(v, fcfs[1], cid))
+
+    def test_retires_only_after_fcfs_and_all_bcast(self, r, v):
+        cid, fcfs, bcast = _setup(r, v, n_fcfs=1, n_bcast=2)
+        r.run(ops.message_send(v, 0, cid, b"x"))
+        r.run(ops.message_receive(v, fcfs[0], cid))
+        r.run(ops.message_receive(v, bcast[0], cid))
+        assert HDR.get(v.region, "live_msgs") == 1
+        r.run(ops.message_receive(v, bcast[1], cid))
+        assert HDR.get(v.region, "live_msgs") == 0
+
+
+class TestRetirement:
+    def test_pure_broadcast_messages_retire_when_all_read(self, r, v):
+        cid, _, bcast = _setup(r, v, n_bcast=2)
+        r.run(ops.message_send(v, 0, cid, b"x"))
+        r.run(ops.message_receive(v, bcast[0], cid))
+        r.run(ops.message_receive(v, bcast[1], cid))
+        assert HDR.get(v.region, "live_msgs") == 0
+        assert HDR.get(v.region, "live_blocks") == 0
+
+    def test_message_with_no_receivers_is_held(self, r, v):
+        cid = r.run(ops.open_send(v, 0, "c"))
+        r.run(ops.message_send(v, 0, cid, b"held"))
+        assert HDR.get(v.region, "live_msgs") == 1
+
+    def test_fcfs_expected_message_survives_bcast_reads(self, r, v):
+        cid, fcfs, bcast = _setup(r, v, n_fcfs=1, n_bcast=1)
+        r.run(ops.message_send(v, 0, cid, b"x"))
+        r.run(ops.message_receive(v, bcast[0], cid))
+        # Still queued: the FCFS obligation is undischarged.
+        assert HDR.get(v.region, "live_msgs") == 1
+
+    def test_retired_middle_message_unlinks_lazily(self, r, v):
+        # Retirement is lazy (head-only reaping): a message retired while
+        # an older one is still pending stays linked until it reaches the
+        # head, then both go at once.
+        cid, _, bcast = _setup(r, v, n_bcast=2)
+        a, b = bcast
+        r.run(ops.message_send(v, 0, cid, b"m0"))
+        r.run(ops.message_send(v, 0, cid, b"m1"))
+        # Both read m1? No — broadcast order forces m0 first; read m0 by
+        # A only, then m1 by A only: nothing retires.
+        r.run(ops.message_receive(v, a, cid))
+        r.run(ops.message_receive(v, a, cid))
+        assert HDR.get(v.region, "live_msgs") == 2
+        # B reads m0: m0 retires and unlinks; m1 still pending for B.
+        r.run(ops.message_receive(v, b, cid))
+        assert HDR.get(v.region, "live_msgs") == 1
+        r.run(ops.message_receive(v, b, cid))
+        assert HDR.get(v.region, "live_msgs") == 0
+
+    def test_fcfs_taken_out_of_order_reaps_in_order(self, r, v):
+        # FCFS takes are always oldest-first, so physical reaping from
+        # the head matches take order even with broadcast laggards.
+        cid, fcfs, bcast = _setup(r, v, n_fcfs=1, n_bcast=1)
+        r.run(ops.message_send(v, 0, cid, b"m0"))
+        r.run(ops.message_send(v, 0, cid, b"m1"))
+        r.run(ops.message_receive(v, fcfs[0], cid))  # takes m0
+        r.run(ops.message_receive(v, fcfs[0], cid))  # takes m1
+        assert HDR.get(v.region, "live_msgs") == 2  # bcast still owes both
+        r.run(ops.message_receive(v, bcast[0], cid))
+        assert HDR.get(v.region, "live_msgs") == 1
+
+
+class TestCloseReceiveGarbage:
+    """The paper's 'particularly vexing' §3.2 problem."""
+
+    def test_closing_lagging_bcast_receiver_frees_its_backlog(self, r, v):
+        cid, _, bcast = _setup(r, v, n_bcast=2)
+        a, b = bcast
+        for i in range(4):
+            r.run(ops.message_send(v, 0, cid, bytes([i])))
+        for _ in range(4):
+            r.run(ops.message_receive(v, a, cid))
+        assert HDR.get(v.region, "live_msgs") == 4  # b owes all four
+        r.run(ops.close_receive(v, b, cid))
+        # "all messages unread by the receiver but read by all other
+        # connected receiver processes must be deleted."
+        assert HDR.get(v.region, "live_msgs") == 0
+        assert HDR.get(v.region, "live_blocks") == 0
+
+    def test_closing_bcast_receiver_keeps_messages_others_owe(self, r, v):
+        cid, _, bcast = _setup(r, v, n_bcast=2)
+        a, b = bcast
+        for i in range(3):
+            r.run(ops.message_send(v, 0, cid, bytes([i])))
+        r.run(ops.message_receive(v, a, cid))  # a read m0 only
+        r.run(ops.close_receive(v, b, cid))
+        # m0 retired (read by a, b's obligation cancelled); m1, m2 remain
+        # because a still owes them.
+        assert HDR.get(v.region, "live_msgs") == 2
+        assert r.run(ops.message_receive(v, a, cid)) == bytes([1])
+
+    def test_closing_mid_stream_receiver_decrements_only_unread(self, r, v):
+        cid, _, bcast = _setup(r, v, n_bcast=2)
+        a, b = bcast
+        for i in range(4):
+            r.run(ops.message_send(v, 0, cid, bytes([i])))
+        r.run(ops.message_receive(v, b, cid))  # b read m0
+        r.run(ops.message_receive(v, a, cid))  # a read m0 -> m0 retires
+        assert HDR.get(v.region, "live_msgs") == 3
+        r.run(ops.close_receive(v, b, cid))
+        # a is still connected and owes m1..m3: nothing may vanish yet.
+        assert HDR.get(v.region, "live_msgs") == 3
+        for i in (1, 2, 3):
+            assert r.run(ops.message_receive(v, a, cid)) == bytes([i])
+        assert HDR.get(v.region, "live_msgs") == 0
+
+    def test_closing_last_fcfs_keeps_expected_messages(self, r, v):
+        # Messages that awaited an FCFS take stay queued for a future
+        # joiner even after the last FCFS receiver leaves.
+        cid, fcfs, bcast = _setup(r, v, n_fcfs=1, n_bcast=1)
+        r.run(ops.message_send(v, 0, cid, b"keep"))
+        r.run(ops.message_receive(v, bcast[0], cid))
+        r.run(ops.close_receive(v, fcfs[0], cid))
+        assert HDR.get(v.region, "live_msgs") == 1
+        newcomer = 40
+        r.run(ops.open_receive(v, newcomer, "c", FCFS))
+        assert r.run(ops.message_receive(v, newcomer, cid)) == b"keep"
+
+
+class TestFcfsHeadInvariant:
+    def test_fcfs_head_tracks_oldest_untaken(self, r, v):
+        cid, fcfs, _ = _setup(r, v, n_fcfs=1)
+        slot = v.resolve(cid)
+        base = v.layout.lnvc_off(slot)
+        assert LNVC.get(v.region, base, "fcfs_head") == NIL
+        r.run(ops.message_send(v, 0, cid, b"a"))
+        head = LNVC.get(v.region, base, "fcfs_head")
+        assert head != NIL
+        r.run(ops.message_send(v, 0, cid, b"b"))
+        assert LNVC.get(v.region, base, "fcfs_head") == head  # still oldest
+        r.run(ops.message_receive(v, fcfs[0], cid))
+        assert LNVC.get(v.region, base, "fcfs_head") != head
+
+    def test_flags_reflect_receiver_population(self, r, v):
+        cid, fcfs, bcast = _setup(r, v, n_fcfs=1, n_bcast=1)
+        slot = v.resolve(cid)
+        base = v.layout.lnvc_off(slot)
+        r.run(ops.message_send(v, 0, cid, b"x"))
+        msg = LNVC.get(v.region, base, "fifo_head")
+        flags = MsgFlags(MSG.get(v.region, msg, "flags"))
+        assert flags & MsgFlags.FCFS_EXPECTED
+        assert flags & MsgFlags.HAD_RECEIVERS
+        assert MSG.get(v.region, msg, "bcast_pending") == 1

@@ -1,0 +1,102 @@
+"""Tests for the public testing utilities themselves (repro.testing)."""
+
+import pytest
+
+from repro.core.effects import Acquire, Charge, Release, WaitOn, Wake
+from repro.core.work import Work
+from repro.testing import BlockedError, DirectRunner, make_view
+
+
+def gen_of(*effects, result=None):
+    def g():
+        for e in effects:
+            yield e
+        return result
+
+    return g()
+
+
+@pytest.fixture
+def runner():
+    return DirectRunner(make_view())
+
+
+def test_returns_generator_value(runner):
+    assert runner.run(gen_of(Charge(Work(instrs=5)), result="val")) == "val"
+
+
+def test_accumulates_charges(runner):
+    runner.run(gen_of(Charge(Work(instrs=5)), Charge(Work(instrs=7, copy_bytes=3))))
+    assert runner.total_instrs() == 12
+    assert runner.total_copy_bytes() == 3
+
+
+def test_records_wakes(runner):
+    runner.run(gen_of(Wake(2), Wake(0)))
+    assert runner.wakes == [2, 0]
+
+
+def test_balanced_locks_ok(runner):
+    runner.run(gen_of(Acquire(1), Release(1)))
+    assert runner.held == []
+
+
+def test_detects_unreleased_lock(runner):
+    with pytest.raises(AssertionError, match="finished holding"):
+        runner.run(gen_of(Acquire(1)))
+
+
+def test_detects_double_acquire(runner):
+    with pytest.raises(AssertionError, match="self-deadlock"):
+        runner.run(gen_of(Acquire(1), Acquire(1)))
+
+
+def test_detects_release_of_unheld(runner):
+    with pytest.raises(AssertionError, match="un-held"):
+        runner.run(gen_of(Release(3)))
+
+
+def test_waiton_raises_blocked_and_releases(runner):
+    with pytest.raises(BlockedError):
+        runner.run(gen_of(Acquire(2), WaitOn(0, 2)))
+    assert runner.held == []  # usable for further ops
+
+
+def test_waiton_without_lock_detected(runner):
+    with pytest.raises(AssertionError, match="WaitOn without holding"):
+        runner.run(gen_of(WaitOn(0, 2)))
+
+
+def test_raise_with_held_lock_detected(runner):
+    def bad():
+        yield Acquire(1)
+        raise ValueError("op forgot to release")
+
+    with pytest.raises(AssertionError, match="raised while holding"):
+        runner.run(bad())
+
+
+def test_raise_with_clean_locks_passes_through(runner):
+    def ok():
+        yield Acquire(1)
+        yield Release(1)
+        raise ValueError("legitimate failure")
+
+    with pytest.raises(ValueError, match="legitimate"):
+        runner.run(ok())
+
+
+def test_unknown_effect_detected(runner):
+    with pytest.raises(AssertionError, match="unknown effect"):
+        runner.run(gen_of(object()))
+
+
+def test_make_view_overrides():
+    v = make_view(max_lnvcs=3, block_size=4)
+    assert v.cfg.max_lnvcs == 3
+    assert v.cfg.block_size == 4
+    # Formatted and ready: header magic in place.
+    from repro.core.layout import HDR
+    from repro.core.protocol import MAGIC
+
+    assert HDR.get(v.region, "magic") == MAGIC

@@ -1,0 +1,150 @@
+"""Tests for the shared-variable substrate (paradigm comparison)."""
+
+import pytest
+
+from repro.core.layout import MPFConfig
+from repro.ext.shared_vars import CounterBarrier, LockedAccumulator, SharedDoubles
+from repro.runtime.sim import SimRuntime
+from repro.runtime.threads import ThreadRuntime
+
+
+def cfg_for(slots=1, ext_bytes=256, nprocs=4):
+    return MPFConfig(max_lnvcs=4, max_processes=nprocs,
+                     ext_slots=slots, ext_bytes=ext_bytes)
+
+
+def run_sim(workers, **kw):
+    return SimRuntime().run(workers, cfg=cfg_for(nprocs=len(workers), **kw))
+
+
+class TestSharedDoubles:
+    def test_roundtrip(self):
+        def worker(env):
+            arr = SharedDoubles(env.view, 4)
+            yield from arr.write(2, 3.25)
+            return (yield from arr.read(2))
+
+        assert run_sim([worker]).results["p0"] == 3.25
+
+    def test_slices(self):
+        def worker(env):
+            arr = SharedDoubles(env.view, 8)
+            yield from arr.write_slice(2, [1.0, 2.0, 3.0])
+            return (yield from arr.read_slice(1, 6))
+
+        assert run_sim([worker]).results["p0"] == [0.0, 1.0, 2.0, 3.0, 0.0]
+
+    def test_visible_across_processes(self):
+        def writer(env):
+            arr = SharedDoubles(env.view, 2)
+            yield from arr.write(0, 7.5)
+
+        def reader(env):
+            arr = SharedDoubles(env.view, 2)
+            value = 0.0
+            while value == 0.0:
+                value = yield from arr.read(0)
+            return value
+
+        assert run_sim([writer, reader]).results["p1"] == 7.5
+
+    def test_bounds_checked(self):
+        def worker(env):
+            arr = SharedDoubles(env.view, 2)
+            yield from arr.read(5)
+
+        with pytest.raises(IndexError):
+            run_sim([worker])
+
+    def test_reservation_checked(self):
+        def worker(env):
+            SharedDoubles(env.view, 1000)
+            yield from env.compute(instrs=1)
+
+        with pytest.raises(ValueError, match="ext_bytes"):
+            run_sim([worker])
+
+
+class TestLockedAccumulator:
+    def test_concurrent_adds_all_land(self):
+        n, each = 4, 10
+
+        def worker(env):
+            acc = LockedAccumulator(env.view, slot=0)
+            for _ in range(each):
+                yield from acc.add(1.0)
+            return acc.peek()
+
+        result = run_sim([worker] * n)
+        finals = list(result.results.values())
+        assert max(finals) == n * each
+
+    def test_on_threads(self):
+        n, each = 3, 25
+
+        def worker(env):
+            acc = LockedAccumulator(env.view, slot=0)
+            for _ in range(each):
+                yield from acc.add(1.0)
+
+        runtime = ThreadRuntime(join_timeout=30)
+        runtime.run([worker] * n, cfg=cfg_for(nprocs=n))
+        acc = LockedAccumulator(runtime.last_view, slot=0)
+        assert acc.peek() == n * each
+
+    def test_needs_slot(self):
+        def worker(env):
+            LockedAccumulator(env.view, slot=5)
+            yield from env.compute(instrs=1)
+
+        with pytest.raises(ValueError, match="slot"):
+            run_sim([worker])
+
+
+class TestCounterBarrier:
+    def test_synchronizes(self):
+        def worker(env):
+            bar = CounterBarrier(env.view, env.nprocs, slot=0)
+            yield from env.compute(instrs=env.rank * 100_000)
+            yield from bar.wait()
+            return env.now()
+
+        result = run_sim([worker] * 4)
+        times = list(result.results.values())
+        assert max(times) - min(times) < 0.01
+        assert min(times) >= 0.3
+
+    def test_reusable(self):
+        def worker(env):
+            bar = CounterBarrier(env.view, env.nprocs, slot=0)
+            stamps = []
+            for i in range(3):
+                yield from env.compute(instrs=(env.rank + i) * 10_000)
+                yield from bar.wait()
+                stamps.append(env.now())
+            return stamps
+
+        result = run_sim([worker] * 3)
+        for i in range(3):
+            at = [v[i] for v in result.results.values()]
+            assert max(at) - min(at) < 0.01
+
+    def test_single_process_barrier_trivial(self):
+        def worker(env):
+            bar = CounterBarrier(env.view, 1, slot=0)
+            yield from bar.wait()
+            return "ok"
+
+        assert run_sim([worker]).results["p0"] == "ok"
+
+    def test_on_threads(self):
+        def worker(env):
+            bar = CounterBarrier(env.view, env.nprocs, slot=0)
+            for _ in range(5):
+                yield from bar.wait()
+            return "ok"
+
+        result = ThreadRuntime(join_timeout=30).run(
+            [worker] * 4, cfg=cfg_for(nprocs=4)
+        )
+        assert set(result.results.values()) == {"ok"}

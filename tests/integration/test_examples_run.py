@@ -1,0 +1,40 @@
+"""Every example script must run to completion successfully.
+
+Examples are executable documentation; this keeps them from rotting.
+Each asserts its own correctness internally (solutions verified, totals
+checked), so a zero exit code is a real guarantee.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert {"quickstart.py", "gauss_jordan_demo.py", "sor_demo.py"} <= names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    if script.name == "independent_processes.py" and not sys.platform.startswith(
+        "linux"
+    ):
+        pytest.skip("POSIX shared memory")
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{script.name} failed:\n{proc.stdout}\n{proc.stderr}"
+    )
+    assert proc.stdout.strip(), f"{script.name} printed nothing"

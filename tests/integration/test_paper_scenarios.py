@@ -1,0 +1,228 @@
+"""Integration scenarios drawn directly from the paper's text."""
+
+import pytest
+
+from repro.core.inspect import inspect_segment
+from repro.core.protocol import BROADCAST, FCFS
+from repro.machine.engine import DeadlockError
+from repro.runtime.sim import SimRuntime
+from repro.runtime.threads import ThreadRuntime
+
+
+def test_conversation_participants_enter_and_leave_freely():
+    """§1: "Participants (parallel processes) can enter or leave a
+    conversation at any time" — a rolling membership where each process
+    joins, speaks, listens, and leaves while others continue."""
+
+    def participant(env):
+        inn = yield from env.open_receive("salon", FCFS)
+        out = yield from env.open_send("salon")
+        yield from env.message_send(out, f"hello from {env.rank}".encode())
+        heard = []
+        for _ in range(2):
+            msg = yield from env.message_receive(inn)
+            heard.append(msg)
+            # Everyone forwards one remark: n hellos + n forwards feed
+            # exactly the 2n receives, on any interleaving.
+            if len(heard) == 1:
+                yield from env.message_send(out, b"(passing along) " + msg)
+        yield from env.close_send(out)
+        yield from env.close_receive(inn)
+        return len(heard)
+
+    result = SimRuntime().run([participant] * 4)
+    assert all(v == 2 for v in result.results.values())
+    assert result.header["live_lnvcs"] == 0
+
+
+def test_lecture_vs_discussion_vs_dialogue_coexist():
+    """§1: LNVCs support dialogue, group discussion and lecture shapes
+    simultaneously on distinct circuits of one segment."""
+
+    def speaker(env):
+        mic = yield from env.open_send("lecture")
+        seats = yield from env.open_receive("rsvp", FCFS)
+        for _ in range(2):
+            yield from env.message_receive(seats)
+        yield from env.message_send(mic, b"slide")
+        yield from env.close_send(mic)
+        yield from env.close_receive(seats)
+        # Dialogue with listener 1 on a private pair of circuits.
+        q = yield from env.open_receive("q.to.speaker", FCFS)
+        a = yield from env.open_send("a.to.listener")
+        question = yield from env.message_receive(q)
+        yield from env.message_send(a, b"answer to " + question)
+        yield from env.close_send(a)
+        yield from env.close_receive(q)
+
+    def listener(env):
+        ear = yield from env.open_receive("lecture", BROADCAST)
+        hand = yield from env.open_send("rsvp")
+        yield from env.message_send(hand, b"in")
+        slide = yield from env.message_receive(ear)
+        yield from env.close_send(hand)
+        yield from env.close_receive(ear)
+        if env.rank == 1:
+            q = yield from env.open_send("q.to.speaker")
+            a = yield from env.open_receive("a.to.listener", FCFS)
+            yield from env.message_send(q, b"why?")
+            answer = yield from env.message_receive(a)
+            yield from env.close_send(q)
+            yield from env.close_receive(a)
+            return (slide, answer)
+        return (slide, None)
+
+    result = SimRuntime().run([speaker, listener, listener])
+    assert result.results["p1"] == (b"slide", b"answer to why?")
+    assert result.results["p2"] == (b"slide", None)
+
+
+def test_lost_message_scenario_of_section_3_2():
+    """§3.2: "a sending process might want to open a send connection on
+    an LNVC, send some messages, and then close the connection.
+    However, if none of the processes intending to receive these
+    messages have established a receiver connection before the closing
+    of the sender connection, the messages could be lost"."""
+
+    def hasty_sender(env):
+        cid = yield from env.open_send("risky")
+        yield from env.message_send(cid, b"important")
+        yield from env.close_send(cid)  # circuit deleted here
+
+    def late_receiver(env):
+        yield from env.compute(instrs=1_000_000)
+        cid = yield from env.open_receive("risky", FCFS)
+        yield from env.message_receive(cid)  # never arrives
+
+    with pytest.raises(DeadlockError):
+        SimRuntime().run([hasty_sender, late_receiver])
+
+
+def test_lost_message_avoided_by_keeping_connection():
+    """...and the §3.2 remedy: hold the send connection open until the
+    receiver exists, then the queued message is delivered."""
+
+    def careful_sender(env):
+        cid = yield from env.open_send("safe")
+        yield from env.message_send(cid, b"important")
+        ack = yield from env.open_receive("safe.ack", FCFS)
+        yield from env.message_receive(ack)
+        yield from env.close_send(cid)
+        yield from env.close_receive(ack)
+
+    def late_receiver(env):
+        yield from env.compute(instrs=1_000_000)
+        cid = yield from env.open_receive("safe", FCFS)
+        got = yield from env.message_receive(cid)
+        ack = yield from env.open_send("safe.ack")
+        yield from env.message_send(ack, b"got it")
+        yield from env.close_send(ack)
+        yield from env.close_receive(cid)
+        return got
+
+    result = SimRuntime().run([careful_sender, late_receiver])
+    assert result.results["p1"] == b"important"
+
+
+def test_check_receive_race_documented_in_section_2():
+    """§2: after a successful check, "another process with a FCFS
+    receive connection for lnvc_id may acquire the message before the
+    checking process can receive the message".  We stage exactly that
+    interleaving on the simulator."""
+
+    def sender(env):
+        cid = yield from env.open_send("c")
+        hello = yield from env.open_receive("hello", FCFS)
+        for _ in range(2):
+            yield from env.message_receive(hello)
+        yield from env.message_send(cid, b"the one message")
+
+    def checker(env):
+        cid = yield from env.open_receive("c", FCFS)
+        h = yield from env.open_send("hello")
+        yield from env.message_send(h, b"hi")
+        # The thief holds back until told, so this poll terminates.
+        while not (yield from env.check_receive(cid)):
+            yield from env.compute(instrs=500)
+        first = yield from env.check_receive(cid)
+        go = yield from env.open_send("go")
+        yield from env.message_send(go, b"now")
+        yield from env.close_send(go)
+        # Dawdle after the positive check; the thief strikes meanwhile.
+        yield from env.compute(instrs=2_000_000)
+        second = yield from env.check_receive(cid)
+        return ("checker", first, second)
+
+    def thief(env):
+        cid = yield from env.open_receive("c", FCFS)
+        h = yield from env.open_send("hello")
+        yield from env.message_send(h, b"hi")
+        go = yield from env.open_receive("go", FCFS)
+        yield from env.message_receive(go)
+        got = yield from env.message_receive(cid)
+        yield from env.close_receive(go)
+        return ("thief", got)
+
+    result = SimRuntime().run([sender, checker, thief])
+    assert result.results["p2"] == ("thief", b"the one message")
+    # The checker's positive check went stale before it could receive.
+    assert result.results["p1"] == ("checker", 1, 0)
+
+
+def test_structural_equality_sim_vs_threads():
+    """The simulator and the thread runtime execute the same protocol:
+    identical final segment state for a nontrivial program."""
+
+    def producer(env):
+        cid = yield from env.open_send("stream")
+        hello = yield from env.open_receive("hello", FCFS)
+        for _ in range(2):
+            yield from env.message_receive(hello)
+        for i in range(10):
+            yield from env.message_send(cid, bytes([i]) * (i + 1))
+        # Leave the stream open: queued state must match across runtimes.
+        return "ok"
+
+    def consumer(env):
+        cid = yield from env.open_receive("stream", FCFS)
+        h = yield from env.open_send("hello")
+        yield from env.message_send(h, b"hi")
+        got = []
+        for _ in range(3):
+            got.append((yield from env.message_receive(cid)))
+        return len(got)
+
+    workers = [producer, consumer, consumer]
+    sim = SimRuntime()
+    thr = ThreadRuntime(join_timeout=60)
+    r1 = sim.run(workers)
+    r2 = thr.run(workers)
+    i1 = inspect_segment(sim.last_view)
+    i2 = inspect_segment(thr.last_view)
+    c1, c2 = i1.circuit("stream"), i2.circuit("stream")
+    assert c1.queued == c2.queued == 4  # 10 sent, 2x3 consumed
+    assert c1.total_enqueued == c2.total_enqueued == 10
+    assert r1.header["total_bytes_sent"] == r2.header["total_bytes_sent"]
+
+
+def test_sim_timing_regression_guard():
+    """Golden value: any change to the calibrated cost model shows up
+    here first (update EXPERIMENTS.md when it legitimately moves)."""
+
+    def pair():
+        def sender(env):
+            cid = yield from env.open_send("c")
+            for _ in range(4):
+                yield from env.message_send(cid, b"x" * 500)
+
+        def receiver(env):
+            cid = yield from env.open_receive("c", FCFS)
+            for _ in range(4):
+                yield from env.message_receive(cid)
+
+        return [sender, receiver]
+
+    a = SimRuntime().run(pair()).elapsed
+    b = SimRuntime().run(pair()).elapsed
+    assert a == b  # exact determinism
+    assert 0.05 < a < 0.2  # ~11ms/send + ~10ms/receive x 4, overlapped

@@ -1,0 +1,114 @@
+"""Tests for the execution tracer."""
+
+from repro.core.protocol import FCFS
+from repro.machine.trace import Tracer
+from repro.runtime.sim import SimRuntime
+
+
+def traced_run(workers, **kw):
+    tracer = Tracer(**kw)
+    result = SimRuntime(trace=tracer).run(workers)
+    return tracer, result
+
+
+def loopback(env):
+    sid = yield from env.open_send("loop")
+    rid = yield from env.open_receive("loop", FCFS)
+    for _ in range(4):
+        yield from env.message_send(sid, b"x" * 100)
+        yield from env.message_receive(rid)
+    yield from env.close_send(sid)
+    yield from env.close_receive(rid)
+
+
+def test_tracer_records_events():
+    tracer, result = traced_run([loopback])
+    assert tracer.total > 0
+    assert tracer.total == len(tracer.events)
+    assert result.report.events >= tracer.total
+
+
+def test_events_time_ordered():
+    tracer, _ = traced_run([loopback])
+    times = [ev.time for ev in tracer.events]
+    assert times == sorted(times)
+
+
+def test_summary_counts_by_kind():
+    tracer, _ = traced_run([loopback])
+    summary = tracer.summary()["p0"]
+    assert summary["Acquire"] == summary["Release"]
+    assert summary["Wake"] == 4  # one per send
+    assert summary["Charge"] > 8
+
+
+def test_charge_breakdown_labels():
+    tracer, _ = traced_run([loopback])
+    breakdown = tracer.charge_breakdown()
+    for label in ("send-fixed", "send-copy", "recv-fixed", "recv-copy",
+                  "send-link", "open"):
+        assert breakdown[label] > 0, f"missing label {label}"
+
+
+def test_copy_dominates_for_large_messages():
+    """The Figure 3 analysis, recovered from the trace: at large
+    messages the copy labels outweigh the fixed labels."""
+
+    def big(env):
+        sid = yield from env.open_send("loop")
+        rid = yield from env.open_receive("loop", FCFS)
+        for _ in range(4):
+            yield from env.message_send(sid, b"x" * 2048)
+            yield from env.message_receive(rid)
+
+    tracer, _ = traced_run([big])
+    b = tracer.charge_breakdown()
+    copies = b["send-copy"] + b["recv-copy"]
+    fixed = b["send-fixed"] + b["recv-fixed"]
+    assert copies > 3 * fixed
+
+
+def test_fixed_dominates_for_small_messages():
+    def small(env):
+        sid = yield from env.open_send("loop")
+        rid = yield from env.open_receive("loop", FCFS)
+        for _ in range(4):
+            yield from env.message_send(sid, b"x" * 10)
+            yield from env.message_receive(rid)
+
+    tracer, _ = traced_run([small])
+    b = tracer.charge_breakdown()
+    copies = b["send-copy"] + b["recv-copy"]
+    fixed = b["send-fixed"] + b["recv-fixed"]
+    assert fixed > 3 * copies
+
+
+def test_lock_profile_counts_acquires():
+    tracer, _ = traced_run([loopback])
+    profile = tracer.lock_profile()
+    assert sum(profile.values()) > 0
+    assert all(isinstance(k, int) for k in profile)
+
+
+def test_timeline_renders():
+    tracer, _ = traced_run([loopback])
+    text = tracer.timeline(first=10)
+    lines = text.splitlines()
+    assert "effect" in lines[0]
+    assert len(lines) == 12  # header + 10 + "more" line
+    assert "more events" in lines[-1]
+
+
+def test_limit_caps_recording_not_counting():
+    tracer, _ = traced_run([loopback], limit=5)
+    assert len(tracer.events) == 5
+    assert tracer.total > 5
+
+
+def test_between_filters_window():
+    tracer, result = traced_run([loopback])
+    mid = result.elapsed / 2
+    early = tracer.between(0.0, mid)
+    late = tracer.between(mid, result.elapsed + 1)
+    assert len(early) + len(late) == tracer.total
+    assert all(ev.time < mid for ev in early)

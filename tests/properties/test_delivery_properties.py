@@ -1,0 +1,141 @@
+"""Property-based tests of the LNVC delivery semantics.
+
+These drive randomized single-threaded op sequences through the real
+byte-level data structures and assert the paper's delivery contract:
+
+* payload integrity for arbitrary byte strings and block sizes,
+* per-circuit FIFO ordering (virtual circuits are sequence preserving),
+* FCFS exactly-once across any receiver set,
+* BROADCAST all-see-all-in-order,
+* conservation: allocator counters return to zero when everything is
+  consumed and closed.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ops
+from repro.core.layout import HDR
+from repro.core.protocol import BROADCAST, FCFS
+from repro.testing import BlockedError, DirectRunner, make_view
+
+payloads = st.binary(min_size=0, max_size=300)
+
+
+@given(payloads, st.integers(1, 64))
+@settings(max_examples=150, deadline=None)
+def test_payload_roundtrip_any_block_size(payload, block_size):
+    v = make_view(block_size=block_size)
+    r = DirectRunner(v)
+    cid = r.run(ops.open_send(v, 0, "c"))
+    r.run(ops.open_receive(v, 0, "c", FCFS))
+    r.run(ops.message_send(v, 0, cid, payload))
+    assert r.run(ops.message_receive(v, 0, cid)) == payload
+    assert HDR.get(v.region, "live_blocks") == 0
+
+
+@given(st.lists(payloads, min_size=1, max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_fifo_order_any_message_sequence(messages):
+    v = make_view(max_messages=64, message_pool_bytes=1 << 17)
+    r = DirectRunner(v)
+    cid = r.run(ops.open_send(v, 0, "c"))
+    r.run(ops.open_receive(v, 0, "c", FCFS))
+    for m in messages:
+        r.run(ops.message_send(v, 0, cid, m))
+    got = [r.run(ops.message_receive(v, 0, cid)) for _ in messages]
+    assert got == messages
+
+
+@given(
+    st.integers(1, 4),               # FCFS receivers
+    st.integers(0, 3),               # BROADCAST receivers
+    st.lists(st.binary(min_size=1, max_size=30), min_size=1, max_size=12),
+    st.randoms(use_true_random=False),
+)
+@settings(max_examples=100, deadline=None)
+def test_delivery_contract_mixed_receivers(n_fcfs, n_bcast, messages, rng):
+    # Make payloads unique so positional order checks are well defined.
+    messages = [bytes([i]) + m for i, m in enumerate(messages)]
+    v = make_view(max_messages=128)
+    r = DirectRunner(v)
+    cid = r.run(ops.open_send(v, 0, "c"))
+    fcfs = list(range(10, 10 + n_fcfs))
+    bcast = list(range(20, 20 + n_bcast))
+    for pid in fcfs:
+        r.run(ops.open_receive(v, pid, "c", FCFS))
+    for pid in bcast:
+        r.run(ops.open_receive(v, pid, "c", BROADCAST))
+
+    for m in messages:
+        r.run(ops.message_send(v, 0, cid, m))
+
+    # FCFS: drain in random receiver order; union is exactly the stream,
+    # and each receiver's sub-stream is in order.
+    per_fcfs = {pid: [] for pid in fcfs}
+    for _ in messages:
+        pid = rng.choice(fcfs)
+        per_fcfs[pid].append(r.run(ops.message_receive(v, pid, cid)))
+    for pid in fcfs:
+        with_pos = [(messages.index(m), m) for m in per_fcfs[pid]]
+        assert with_pos == sorted(with_pos)  # time-ordered sub-stream
+    union = [m for seq in per_fcfs.values() for m in seq]
+    assert sorted(union) == sorted(messages)  # exactly-once
+
+    # BROADCAST: everyone sees the full stream, in order.
+    for pid in bcast:
+        got = [r.run(ops.message_receive(v, pid, cid)) for _ in messages]
+        assert got == messages
+
+    # Everything consumed: a further receive would block, and the
+    # allocator is fully drained.
+    for pid in fcfs:
+        try:
+            r.run(ops.message_receive(v, pid, cid))
+            raise AssertionError("should have blocked")
+        except BlockedError:
+            pass
+    assert HDR.get(v.region, "live_msgs") == 0
+    assert HDR.get(v.region, "live_blocks") == 0
+    assert HDR.get(v.region, "live_bytes") == 0
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["send", "recv", "open", "close"]),
+                  st.integers(0, 3)),
+        max_size=40,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_random_op_soup_never_corrupts(script):
+    """Fuzz: random opens/closes/sends/receives either succeed or raise a
+    typed MPFError, and conservation of headers/blocks always holds."""
+    from repro.core.errors import MPFError
+
+    v = make_view(max_messages=32, message_pool_bytes=1 << 14)
+    r = DirectRunner(v)
+    open_ids: dict[int, int] = {}
+    queued = 0
+    for action, pid in script:
+        try:
+            if action == "open":
+                cid = r.run(ops.open_send(v, pid, "soup"))
+                r.run(ops.open_receive(v, pid, "soup", FCFS))
+                open_ids[pid] = cid
+            elif action == "send" and pid in open_ids:
+                r.run(ops.message_send(v, pid, open_ids[pid], b"x" * pid))
+                queued += 1
+            elif action == "recv" and pid in open_ids and queued:
+                r.run(ops.message_receive(v, pid, open_ids[pid]))
+                queued -= 1
+            elif action == "close" and pid in open_ids:
+                cid = open_ids.pop(pid)
+                r.run(ops.close_send(v, pid, cid))
+                r.run(ops.close_receive(v, pid, cid))
+                if not open_ids:
+                    queued = 0  # circuit deleted, messages discarded
+        except MPFError:
+            pass
+        live = HDR.get(v.region, "live_msgs")
+        assert live == queued, f"conservation broken: {live} != {queued}"
+    assert not r.held

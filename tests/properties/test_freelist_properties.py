@@ -1,0 +1,67 @@
+"""Property-based tests for the intrusive free lists."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.freelist import fl_alloc, fl_count, fl_free, init_freelist
+from repro.core.protocol import NIL
+from repro.core.region import SharedRegion
+
+HEAD, BASE = 0, 16
+
+
+@st.composite
+def pool_and_ops(draw):
+    count = draw(st.integers(1, 20))
+    stride = draw(st.integers(4, 32).map(lambda v: (v // 4) * 4))
+    ops = draw(st.lists(st.booleans(), max_size=60))  # True=alloc, False=free
+    return count, stride, ops
+
+
+@given(pool_and_ops())
+@settings(max_examples=200, deadline=None)
+def test_alloc_free_invariants(params):
+    """Under any alloc/free sequence: no double-handout, every offset
+    stays a valid record, and live + free == capacity."""
+    count, stride, ops = params
+    region = SharedRegion(bytearray(BASE + count * stride))
+    init_freelist(region, HEAD, BASE, stride, count)
+    live: set[int] = set()
+    for is_alloc in ops:
+        if is_alloc:
+            off = fl_alloc(region, HEAD)
+            if off == NIL:
+                assert len(live) == count  # NIL only when exhausted
+            else:
+                assert off not in live, "double handout"
+                assert (off - BASE) % stride == 0
+                assert BASE <= off < BASE + count * stride
+                live.add(off)
+        elif live:
+            off = live.pop()
+            fl_free(region, HEAD, off)
+        assert fl_count(region, HEAD, limit=count + 1) == count - len(live)
+
+
+@given(st.integers(1, 50), st.integers(4, 64))
+@settings(max_examples=100, deadline=None)
+def test_drain_yields_each_record_once(count, stride):
+    stride = (stride // 4) * 4
+    region = SharedRegion(bytearray(BASE + count * stride))
+    init_freelist(region, HEAD, BASE, stride, count)
+    seen = set()
+    while (off := fl_alloc(region, HEAD)) != NIL:
+        assert off not in seen
+        seen.add(off)
+    assert len(seen) == count
+
+
+@given(st.lists(st.integers(0, 19), min_size=1, max_size=20, unique=True))
+@settings(max_examples=100, deadline=None)
+def test_free_order_irrelevant_to_capacity(free_order):
+    count, stride = 20, 8
+    region = SharedRegion(bytearray(BASE + count * stride))
+    init_freelist(region, HEAD, BASE, stride, count)
+    offs = [fl_alloc(region, HEAD) for _ in range(count)]
+    for i in free_order:
+        fl_free(region, HEAD, offs[i])
+    assert fl_count(region, HEAD) == len(free_order)

@@ -1,0 +1,62 @@
+"""Property-based tests of segment layout and formatting."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.freelist import fl_count
+from repro.core.layout import HDR, MPFConfig, SegmentLayout, check_region, format_region
+from repro.core.region import SharedRegion
+from repro.core.structs import LNVC, MSG, RECV, SEND
+
+
+@st.composite
+def configs(draw):
+    return MPFConfig(
+        max_lnvcs=draw(st.integers(1, 64)),
+        max_processes=draw(st.integers(1, 64)),
+        block_size=draw(st.integers(1, 128)),
+        max_messages=draw(st.integers(1, 256)),
+        message_pool_bytes=draw(st.integers(256, 1 << 16)),
+        ext_slots=draw(st.integers(0, 8)),
+        ext_bytes=draw(st.integers(0, 1024)),
+    )
+
+
+@given(configs())
+@settings(max_examples=150, deadline=None)
+def test_pools_never_overlap(cfg):
+    lay = SegmentLayout(cfg)
+    spans = [
+        ("hdr", 0, HDR.size),
+        ("lnvc", lay.lnvc_base, lay.lnvc_base + cfg.max_lnvcs * LNVC.size),
+        ("send", lay.send_base, lay.send_base + cfg.n_send * SEND.size),
+        ("recv", lay.recv_base, lay.recv_base + cfg.n_recv * RECV.size),
+        ("msg", lay.msg_base, lay.msg_base + cfg.max_messages * MSG.size),
+        ("blk", lay.blk_base, lay.blk_base + cfg.n_blocks * lay.blk_stride),
+        ("ext", lay.ext_base, lay.ext_base + cfg.ext_bytes),
+    ]
+    for (n1, a0, a1), (n2, b0, b1) in zip(spans, spans[1:]):
+        assert a1 <= b0, f"{n1} overlaps {n2}"
+    assert spans[-1][2] <= lay.total_size
+
+
+@given(configs())
+@settings(max_examples=60, deadline=None)
+def test_format_then_check_roundtrip(cfg):
+    region = SharedRegion(bytearray(SegmentLayout(cfg).total_size))
+    lay = format_region(region, cfg)
+    assert check_region(region, cfg).total_size == lay.total_size
+    # Every pool starts completely free.
+    assert fl_count(region, HDR.u32["free_msg"]) == cfg.max_messages
+    assert fl_count(region, HDR.u32["free_blk"]) == cfg.n_blocks
+    assert fl_count(region, HDR.u32["free_send"]) == cfg.n_send
+    assert fl_count(region, HDR.u32["free_recv"]) == cfg.n_recv
+
+
+@given(configs())
+@settings(max_examples=60, deadline=None)
+def test_lock_channel_pairing_invariant(cfg):
+    """Channel k must pair with lock FIRST_LNVC_LOCK + k for every slot,
+    including extension slots — the invariant the runtimes rely on."""
+    from repro.core.protocol import FIRST_LNVC_LOCK
+
+    assert cfg.n_locks == FIRST_LNVC_LOCK + cfg.n_channels

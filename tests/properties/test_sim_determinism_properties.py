@@ -1,0 +1,92 @@
+"""Property: the simulator is exactly deterministic over random programs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.protocol import BROADCAST, FCFS
+from repro.runtime.sim import SimRuntime
+
+
+@st.composite
+def random_program(draw):
+    """A random but deadlock-free fan-out program description."""
+    n_receivers = draw(st.integers(1, 4))
+    protocols = draw(
+        st.lists(st.sampled_from([FCFS, BROADCAST]),
+                 min_size=n_receivers, max_size=n_receivers)
+    )
+    n_fcfs = sum(1 for p in protocols if p is FCFS)
+    # Each FCFS message goes to one receiver; every broadcast receiver
+    # sees all messages.  Choose a count every receiver can satisfy.
+    n_messages = draw(st.integers(max(1, n_fcfs), 10))
+    if n_fcfs:
+        n_messages -= n_messages % n_fcfs  # split evenly
+        n_messages = max(n_messages, n_fcfs)
+    lengths = draw(
+        st.lists(st.integers(0, 200), min_size=n_messages, max_size=n_messages)
+    )
+    return protocols, lengths
+
+
+def build(protocols, lengths):
+    n_fcfs = sum(1 for p in protocols if p is FCFS)
+    n_messages = len(lengths)
+
+    def sender(env):
+        cid = yield from env.open_send("c")
+        ready = yield from env.open_receive("ready", FCFS)
+        for _ in range(len(protocols)):
+            yield from env.message_receive(ready)
+        for i, length in enumerate(lengths):
+            yield from env.message_send(cid, bytes([i % 256]) * length)
+        return env.now()
+
+    def make_receiver(proto, quota):
+        def receiver(env):
+            cid = yield from env.open_receive("c", proto)
+            r = yield from env.open_send("ready")
+            yield from env.message_send(r, b"up")
+            sizes = []
+            for _ in range(quota):
+                sizes.append(len((yield from env.message_receive(cid))))
+            return (env.now(), sizes)
+
+        return receiver
+
+    workers = [sender]
+    for proto in protocols:
+        quota = n_messages if proto is BROADCAST else n_messages // n_fcfs
+        workers.append(make_receiver(proto, quota))
+    return workers
+
+
+@given(random_program())
+@settings(max_examples=40, deadline=None)
+def test_identical_runs_identical_results(program):
+    protocols, lengths = program
+    a = SimRuntime().run(build(protocols, lengths))
+    b = SimRuntime().run(build(protocols, lengths))
+    assert a.elapsed == b.elapsed
+    assert a.results == b.results
+    assert a.header == b.header
+    assert a.report.events == b.report.events
+    assert a.report.lock_wait_seconds == b.report.lock_wait_seconds
+
+
+@given(random_program())
+@settings(max_examples=25, deadline=None)
+def test_broadcast_receivers_see_full_stream(program):
+    protocols, lengths = program
+    result = SimRuntime().run(build(protocols, lengths))
+    for i, proto in enumerate(protocols):
+        _, sizes = result.results[f"p{i + 1}"]
+        if proto is BROADCAST:
+            assert sizes == lengths  # full stream, in order
+    # FCFS receivers partition the stream.
+    fcfs_sizes = sorted(
+        s
+        for i, proto in enumerate(protocols)
+        if proto is FCFS
+        for s in result.results[f"p{i + 1}"][1]
+    )
+    if fcfs_sizes:
+        assert fcfs_sizes == sorted(lengths)

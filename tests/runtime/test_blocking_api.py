@@ -1,0 +1,101 @@
+"""Tests for the blocking convenience facade (MPFSystem / BlockingMPF)."""
+
+import threading
+
+import pytest
+
+from repro.core.errors import BufferOverflowError, NotConnectedError
+from repro.core.layout import MPFConfig
+from repro.core.protocol import BROADCAST, FCFS
+from repro.runtime.blocking import MPFSystem
+
+
+@pytest.fixture
+def system():
+    return MPFSystem(MPFConfig(max_lnvcs=8, max_processes=8))
+
+
+def test_loopback_roundtrip(system):
+    mpf = system.client(0)
+    cid = mpf.open_send("loop")
+    assert mpf.open_receive("loop", FCFS) == cid
+    mpf.message_send(cid, b"hi")
+    assert mpf.message_receive(cid) == b"hi"
+    mpf.close_send(cid)
+    mpf.close_receive(cid)
+
+
+def test_check_receive(system):
+    mpf = system.client(0)
+    cid = mpf.open_send("c")
+    mpf.open_receive("c", FCFS)
+    assert mpf.check_receive(cid) == 0
+    mpf.message_send(cid, b"x")
+    assert mpf.check_receive(cid) == 1
+
+
+def test_max_len_enforced(system):
+    mpf = system.client(0)
+    cid = mpf.open_send("c")
+    mpf.open_receive("c", FCFS)
+    mpf.message_send(cid, b"longish")
+    with pytest.raises(BufferOverflowError):
+        mpf.message_receive(cid, max_len=2)
+
+
+def test_pid_validation(system):
+    with pytest.raises(ValueError):
+        system.client(99)
+    with pytest.raises(ValueError):
+        system.client(-1)
+
+
+def test_errors_surface_unwrapped(system):
+    mpf = system.client(0)
+    cid = mpf.open_receive("c", FCFS)
+    with pytest.raises(NotConnectedError):
+        mpf.message_send(cid, b"x")
+
+
+def test_two_threads_blocking_handoff(system):
+    """A blocking receive in one thread is satisfied by a send in another."""
+    results = {}
+
+    def consumer():
+        mpf = system.client(1)
+        cid = mpf.open_receive("handoff", FCFS)
+        results["got"] = mpf.message_receive(cid)  # blocks
+        mpf.close_receive(cid)
+
+    t = threading.Thread(target=consumer)
+    t.start()
+    producer = system.client(0)
+    cid = producer.open_send("handoff")
+    producer.message_send(cid, b"wakes the consumer")
+    t.join(10)
+    assert not t.is_alive()
+    assert results["got"] == b"wakes the consumer"
+    producer.close_send(cid)
+
+
+def test_broadcast_to_two_threads(system):
+    got = {}
+    ready = threading.Barrier(3, timeout=10)
+
+    def listener(pid):
+        mpf = system.client(pid)
+        cid = mpf.open_receive("pa", BROADCAST)
+        ready.wait()  # guarantee both joined before the send
+        got[pid] = mpf.message_receive(cid)
+
+    threads = [threading.Thread(target=listener, args=(p,)) for p in (1, 2)]
+    for t in threads:
+        t.start()
+    ready.wait()
+    speaker = system.client(0)
+    cid = speaker.open_send("pa")
+    speaker.message_send(cid, b"announcement")
+    for t in threads:
+        t.join(10)
+        assert not t.is_alive()
+    assert got == {1: b"announcement", 2: b"announcement"}

@@ -1,0 +1,96 @@
+"""Unit tests for the runtime base helpers and Env surface."""
+
+import pytest
+
+from repro.core.layout import MPFConfig
+from repro.runtime.base import RunResult, Runtime
+from repro.runtime.sim import SimRuntime
+
+
+class TestHelpers:
+    def test_default_config_from_worker_count(self):
+        cfg = Runtime.default_config(10, None)
+        assert cfg.max_processes == 10
+        assert cfg.max_lnvcs >= 20
+
+    def test_default_config_passthrough(self):
+        mine = MPFConfig(max_lnvcs=3, max_processes=2)
+        assert Runtime.default_config(2, mine) is mine
+
+    def test_process_names_generated(self):
+        assert Runtime.process_names(3, None) == ["p0", "p1", "p2"]
+
+    def test_process_names_validated(self):
+        with pytest.raises(ValueError, match="match"):
+            Runtime.process_names(2, ["only-one"])
+        with pytest.raises(ValueError, match="unique"):
+            Runtime.process_names(2, ["same", "same"])
+
+
+class TestRunResult:
+    def test_result_list_ordered_by_rank(self):
+        rr = RunResult(results={"p2": "c", "p0": "a", "p1": "b"},
+                       elapsed=0.0, kind="sim")
+        assert rr.result_list() == ["a", "b", "c"]
+
+    def test_result_list_double_digit_ranks(self):
+        names = {f"p{i}": i for i in range(12)}
+        rr = RunResult(results=names, elapsed=0.0, kind="sim")
+        assert rr.result_list() == list(range(12))
+
+
+class TestEnvSurface:
+    def test_compute_is_a_generator(self):
+        def worker(env):
+            gen = env.compute(flops=10)
+            assert hasattr(gen, "send")
+            yield from gen
+            return "ok"
+
+        assert SimRuntime().run([worker]).results["p0"] == "ok"
+
+    def test_compute_advances_by_flop_time(self):
+        def worker(env):
+            t0 = env.now()
+            yield from env.compute(flops=1000)
+            return env.now() - t0
+
+        from repro.machine.balance import BALANCE_21000
+
+        dt = SimRuntime().run([worker]).results["p0"]
+        assert dt == pytest.approx(1000 * BALANCE_21000.flop_seconds)
+
+    def test_compute_instrs_and_flops_combine(self):
+        def worker(env):
+            t0 = env.now()
+            yield from env.compute(flops=100, instrs=1000)
+            return env.now() - t0
+
+        from repro.machine.balance import BALANCE_21000
+
+        dt = SimRuntime().run([worker]).results["p0"]
+        expected = (100 * BALANCE_21000.flop_seconds
+                    + 1000 * BALANCE_21000.instr_seconds)
+        assert dt == pytest.approx(expected)
+
+    def test_rank_is_pid_identity(self):
+        """Env.rank is the paper's process_id: connections made by one
+        rank are invisible to another."""
+        from repro.core.errors import NotConnectedError
+        from repro.core.protocol import FCFS
+
+        def opener(env):
+            cid = yield from env.open_receive("c", FCFS)
+            return cid
+
+        def intruder(env):
+            yield from env.compute(instrs=10_000)
+            cid = yield from env.open_send("c")
+            try:
+                yield from env.check_receive(cid)
+            except NotConnectedError:
+                return "denied"
+            return "allowed"
+
+        result = SimRuntime().run([opener, intruder])
+        assert result.results["p1"] == "denied"

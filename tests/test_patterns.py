@@ -1,0 +1,225 @@
+"""Tests for the coordination patterns (on the deterministic simulator)."""
+
+import struct
+
+import pytest
+
+from repro.machine.engine import DeadlockError
+from repro.patterns import (
+    Mailboxes,
+    all_to_all,
+    allreduce,
+    barrier,
+    broadcast,
+    exchange,
+    gather,
+    reduce,
+    scatter,
+    tag,
+    untag,
+)
+from repro.runtime.sim import SimRuntime
+
+
+def run(workers, **kw):
+    return SimRuntime().run(workers, **kw)
+
+
+def test_tag_untag_roundtrip():
+    assert untag(tag(7, b"payload")) == (7, b"payload")
+    assert untag(tag(0, b"")) == (0, b"")
+
+
+def test_barrier_synchronizes_times():
+    def worker(env):
+        # Stagger arrivals by rank.
+        yield from env.compute(instrs=env.rank * 100_000)
+        yield from barrier(env, "b", 4)
+        return env.now()
+
+    result = run([worker] * 4)
+    times = result.result_list()
+    # Everyone leaves the barrier at (nearly) the same simulated moment,
+    # and not before the slowest arrival.
+    assert max(times) - min(times) < 0.05
+    assert min(times) >= 0.3
+
+
+def test_barrier_reusable_with_distinct_names():
+    def worker(env):
+        for i in range(3):
+            yield from barrier(env, f"b{i}", 3)
+        return "ok"
+
+    assert set(run([worker] * 3).results.values()) == {"ok"}
+
+
+def test_gather_orders_by_rank():
+    def worker(env):
+        return (yield from gather(env, "g", 2, 5, f"r{env.rank}".encode()))
+
+    result = run([worker] * 5)
+    assert result.results["p2"] == [f"r{i}".encode() for i in range(5)]
+    assert result.results["p0"] is None
+
+
+def test_gather_rank_subset():
+    # Participants need not be ranks 0..n-1 (e.g. workers without their
+    # arbiter); ordering is by actual rank.
+    def idle(env):
+        yield from env.compute(instrs=1)
+
+    def member(env):
+        return (yield from gather(env, "g", 1, 3, bytes([env.rank])))
+
+    result = run([idle, member, member, member])
+    assert result.results["p1"] == [bytes([1]), bytes([2]), bytes([3])]
+
+
+def test_scatter_delivers_own_part():
+    def worker(env):
+        parts = [f"part{i}".encode() for i in range(4)] if env.rank == 0 else None
+        return (yield from scatter(env, "s", 0, parts))
+
+    result = run([worker] * 4)
+    assert result.result_list() == [f"part{i}".encode() for i in range(4)]
+
+
+def test_scatter_requires_parts_at_root():
+    def worker(env):
+        return (yield from scatter(env, "s", 0, None))
+
+    with pytest.raises(ValueError):
+        run([worker])
+
+
+def test_broadcast_from_nonzero_root():
+    def worker(env):
+        return (
+            yield from broadcast(
+                env, "bc", 3, 5, b"msg" if env.rank == 3 else None
+            )
+        )
+
+    assert set(run([worker] * 5).results.values()) == {b"msg"}
+
+
+def test_broadcast_single_process():
+    def worker(env):
+        return (yield from broadcast(env, "bc", 0, 1, b"self"))
+
+    assert run([worker]).results["p0"] == b"self"
+
+
+def test_reduce_folds_commutatively():
+    def add(a, b):
+        return struct.pack("<I", struct.unpack("<I", a)[0] + struct.unpack("<I", b)[0])
+
+    def worker(env):
+        return (
+            yield from reduce(env, "r", 0, 6, struct.pack("<I", env.rank + 1), add)
+        )
+
+    result = run([worker] * 6)
+    assert struct.unpack("<I", result.results["p0"])[0] == 21
+    assert result.results["p3"] is None
+
+
+def test_allreduce_everyone_gets_result():
+    def cat(a, b):
+        return bytes(sorted(a + b))
+
+    def worker(env):
+        return (yield from allreduce(env, "ar", 4, bytes([env.rank]), cat))
+
+    result = run([worker] * 4)
+    assert set(result.results.values()) == {bytes([0, 1, 2, 3])}
+
+
+def test_all_to_all_full_exchange():
+    n = 4
+
+    def worker(env):
+        parts = [bytes([env.rank, j]) for j in range(n)]
+        return (yield from all_to_all(env, "x", n, parts))
+
+    result = run([worker] * n)
+    for j in range(n):
+        assert result.results[f"p{j}"] == [bytes([i, j]) for i in range(n)]
+
+
+def test_all_to_all_wrong_parts_length():
+    def worker(env):
+        return (yield from all_to_all(env, "x", 3, [b"a"]))
+
+    with pytest.raises(ValueError):
+        run([worker] * 3)
+
+
+def test_exchange_pairwise():
+    def worker(env):
+        peer = 1 - env.rank
+        return (yield from exchange(env, "e", peer, bytes([env.rank])))
+
+    result = run([worker] * 2)
+    assert result.results["p0"] == bytes([1])
+    assert result.results["p1"] == bytes([0])
+
+
+def test_mailboxes_repeated_swaps():
+    iters = 5
+
+    def worker(env):
+        peer = 1 - env.rank
+        boxes = Mailboxes(env, "m")
+        yield from boxes.connect([peer])
+        seen = []
+        for i in range(iters):
+            seen.append((yield from boxes.swap(peer, bytes([env.rank, i]))))
+        yield from boxes.close()
+        return seen
+
+    result = run([worker] * 2)
+    assert result.results["p0"] == [bytes([1, i]) for i in range(iters)]
+    assert result.header["live_lnvcs"] == 0
+
+
+def test_mailboxes_swap_all_ring():
+    n = 4
+
+    def worker(env):
+        left, right = (env.rank - 1) % n, (env.rank + 1) % n
+        boxes = Mailboxes(env, "ring")
+        yield from boxes.connect([left, right])
+        replies = yield from boxes.swap_all(
+            {left: bytes([env.rank]), right: bytes([env.rank])}
+        )
+        yield from boxes.close()
+        return replies
+
+    result = run([worker] * n)
+    for i in range(n):
+        replies = result.results[f"p{i}"]
+        assert replies[(i - 1) % n] == bytes([(i - 1) % n])
+        assert replies[(i + 1) % n] == bytes([(i + 1) % n])
+
+
+def test_patterns_leave_no_garbage():
+    def worker(env):
+        yield from barrier(env, "b", 3)
+        yield from gather(env, "g", 0, 3, b"x")
+        yield from broadcast(env, "bc", 0, 3, b"y" if env.rank == 0 else None)
+        yield from all_to_all(env, "a", 3, [b"z"] * 3)
+
+    result = run([worker] * 3)
+    assert result.header["live_msgs"] == 0
+    assert result.header["live_blocks"] == 0
+    assert result.header["live_lnvcs"] == 0
+
+
+def test_mismatched_barrier_count_deadlocks():
+    def worker(env):
+        yield from barrier(env, "b", 4)  # but only 3 participants exist
+
+    with pytest.raises(DeadlockError):
+        run([worker] * 3)

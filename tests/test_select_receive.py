@@ -1,0 +1,103 @@
+"""Tests for the select_receive polling multiplexer."""
+
+import pytest
+
+from repro.core.protocol import BROADCAST, FCFS
+from repro.patterns import select_receive
+from repro.runtime.sim import SimRuntime
+from repro.runtime.threads import ThreadRuntime
+
+
+def test_returns_first_circuit_with_traffic():
+    def chooser(env):
+        a = yield from env.open_receive("a", FCFS)
+        b = yield from env.open_receive("b", FCFS)
+        rdy = yield from env.open_send("rdy")
+        yield from env.message_send(rdy, b"up")
+        which, payload = yield from select_receive(env, (a, b))
+        return ("b" if which == b else "a", payload)
+
+    def speaker(env):
+        rdy = yield from env.open_receive("rdy", FCFS)
+        yield from env.message_receive(rdy)
+        cid = yield from env.open_send("b")
+        yield from env.message_send(cid, b"on b")
+
+    result = SimRuntime().run([chooser, speaker])
+    assert result.results["p0"] == ("b", b"on b")
+
+
+def test_waits_until_any_traffic():
+    def chooser(env):
+        a = yield from env.open_receive("a", FCFS)
+        b = yield from env.open_receive("b", BROADCAST)
+        t0 = env.now()
+        which, payload = yield from select_receive(env, (a, b))
+        return env.now() - t0, payload
+
+    def slow_speaker(env):
+        yield from env.compute(instrs=1_000_000)  # 1 simulated second
+        cid = yield from env.open_send("a")
+        yield from env.message_send(cid, b"finally")
+
+    result = SimRuntime().run([chooser, slow_speaker])
+    waited, payload = result.results["p0"]
+    assert waited >= 1.0
+    assert payload == b"finally"
+
+
+def test_polling_priority_is_list_order():
+    def chooser(env):
+        a = yield from env.open_receive("a", FCFS)
+        b = yield from env.open_receive("b", FCFS)
+        rdy = yield from env.open_send("rdy")
+        yield from env.message_send(rdy, b"up")
+        # Wait until both circuits are non-empty, then select: the
+        # first-listed circuit must win the tie.
+        while not ((yield from env.check_receive(a))
+                   and (yield from env.check_receive(b))):
+            yield from env.compute(instrs=200)
+        got = []
+        for _ in range(2):
+            which, payload = yield from select_receive(env, (a, b))
+            got.append(payload)
+        return got
+
+    def speaker(env):
+        rdy = yield from env.open_receive("rdy", FCFS)
+        yield from env.message_receive(rdy)
+        ca = yield from env.open_send("a")
+        cb = yield from env.open_send("b")
+        yield from env.message_send(cb, b"second")
+        yield from env.message_send(ca, b"first")
+
+    result = SimRuntime().run([chooser, speaker])
+    assert result.results["p0"] == [b"first", b"second"]
+
+
+def test_empty_circuit_list_rejected():
+    def chooser(env):
+        yield from select_receive(env, ())
+
+    with pytest.raises(ValueError):
+        SimRuntime().run([chooser])
+
+
+def test_on_threads_runtime():
+    def chooser(env):
+        a = yield from env.open_receive("a", FCFS)
+        b = yield from env.open_receive("b", FCFS)
+        rdy = yield from env.open_send("rdy")
+        yield from env.message_send(rdy, b"up")
+        which, payload = yield from select_receive(env, (a, b))
+        yield from env.close_send(rdy)
+        return payload
+
+    def speaker(env):
+        rdy = yield from env.open_receive("rdy", FCFS)
+        yield from env.message_receive(rdy)
+        cid = yield from env.open_send("a")
+        yield from env.message_send(cid, b"hello threads")
+
+    result = ThreadRuntime(join_timeout=30).run([chooser, speaker])
+    assert result.results["p0"] == b"hello threads"
