@@ -41,6 +41,7 @@ from .core import (
     Protocol,
 )
 from .machine import BALANCE_21000, DeadlockError, MachineConfig, Tracer
+from .obs import EffectLog, Recorder
 from .runtime import (
     BlockingMPF,
     Env,
@@ -76,5 +77,7 @@ __all__ = [
     "BlockingMPF",
     "PosixSegment",
     "Tracer",
+    "Recorder",
+    "EffectLog",
     "patterns",
 ]

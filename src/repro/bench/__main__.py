@@ -9,6 +9,19 @@ Usage::
 
 Each figure prints the table of series the paper plots; ``--json``
 archives the raw points.
+
+The ``trace`` subcommand profiles a figure's lock contention with a
+:class:`repro.obs.Recorder` across runtimes (simulator and/or real
+threads/processes)::
+
+    python -m repro.bench trace fig4 --quick
+    python -m repro.bench trace fig4 --runtime sim --runtime procs
+    python -m repro.bench trace fig4 --chrome fig4.trace.json --jsonl fig4.jsonl
+
+``--chrome`` writes one ``chrome://tracing`` file per runtime (open via
+the "Load" button there or in https://ui.perfetto.dev), ``--jsonl`` one
+JSON-lines event dump per runtime; both describe the largest swept
+receiver count.
 """
 
 from __future__ import annotations
@@ -18,10 +31,90 @@ import json
 import sys
 import time
 
-from .figures import FIGURES
+from .figures import CONTENTION, FIGURES
+
+
+def _suffixed(path: str, kind: str) -> str:
+    """``fig4.trace.json`` + ``procs`` -> ``fig4.trace-procs.json``."""
+    if "." in path.rsplit("/", 1)[-1]:
+        stem, ext = path.rsplit(".", 1)
+        return f"{stem}-{kind}.{ext}"
+    return f"{path}-{kind}"
+
+
+def trace_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench trace",
+        description="Profile a figure's lock contention across runtimes "
+        "with a Recorder.",
+    )
+    parser.add_argument(
+        "figure", choices=sorted(CONTENTION),
+        help="figure to profile",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced sweeps (for CI)"
+    )
+    parser.add_argument(
+        "--runtime", action="append", dest="runtimes",
+        choices=("sim", "threads", "procs"), metavar="KIND",
+        help="runtime(s) to profile on: sim, threads or procs "
+        "(repeatable; default: sim and procs)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="also write raw results as JSON"
+    )
+    parser.add_argument(
+        "--jsonl", metavar="PATH",
+        help="write the largest point's events as JSON lines, one file "
+        "per runtime (PATH gets a -<runtime> suffix)",
+    )
+    parser.add_argument(
+        "--chrome", metavar="PATH",
+        help="write the largest point's chrome://tracing file, one per "
+        "runtime (PATH gets a -<runtime> suffix)",
+    )
+    args = parser.parse_args(argv)
+    kinds = tuple(args.runtimes) if args.runtimes else ("sim", "procs")
+
+    t0 = time.perf_counter()
+    result = CONTENTION[args.figure](args.quick, kinds)
+    wall = time.perf_counter() - t0
+    print(result.format_table())
+    print()
+    print(result.format_extras())
+
+    for kind in kinds:
+        ns = [n for (k, n) in result.recorders if k == kind]
+        if not ns:
+            continue
+        top = max(ns)
+        rec = result.recorders[(kind, top)]
+        print()
+        print(f"{args.figure} lock profile — {kind} runtime, "
+              f"{top} receiver(s):")
+        print(rec.format_lock_profile())
+        if args.jsonl:
+            path = _suffixed(args.jsonl, kind)
+            rec.write_jsonl(path)
+            print(f"wrote {path}")
+        if args.chrome:
+            path = _suffixed(args.chrome, kind)
+            rec.write_chrome_trace(path)
+            print(f"wrote {path}")
+
+    print(f"\n  [{wall:.1f}s wall]")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the MPF paper's figures on the simulated "
@@ -54,6 +147,10 @@ def main(argv: list[str] | None = None) -> int:
         result = FIGURES[name](args.quick)
         wall = time.perf_counter() - t0
         print(result.format_table())
+        extras = result.format_extras()
+        if extras:
+            print()
+            print(extras)
         if args.plot:
             from .plot import ascii_plot
 

@@ -24,6 +24,7 @@ from ..core.protocol import FCFS
 from ..ext.o2o import O2ORing
 from ..ext.sync_channel import SyncChannels
 from ..machine.balance import BALANCE_21000
+from ..obs import Recorder
 from ..runtime.sim import SimRuntime
 from .harness import SweepResult
 from .workloads import (
@@ -40,6 +41,8 @@ __all__ = [
     "fig6",
     "fig7",
     "fig8",
+    "fig4_contention",
+    "fig5_contention",
     "ablation_sync",
     "ablation_o2o",
     "ablation_block",
@@ -47,6 +50,7 @@ __all__ = [
     "ablation_cache",
     "study_paradigm",
     "FIGURES",
+    "CONTENTION",
 ]
 
 
@@ -66,7 +70,8 @@ def fig3(quick: bool = False) -> SweepResult:
     return result
 
 
-def _receiver_sweep(kind: str, fn, quick: bool) -> SweepResult:
+def _receiver_sweep(kind: str, fn, quick: bool,
+                    contention: bool = False) -> SweepResult:
     result = SweepResult(
         "Figure 4" if kind == "fcfs" else "Figure 5",
         f"{kind} benchmark: throughput vs. receiving processes",
@@ -77,16 +82,31 @@ def _receiver_sweep(kind: str, fn, quick: bool) -> SweepResult:
     for length in (16, 128, 1024):
         series = result.new_series(f"{length}B")
         for n in counts:
-            m = fn(n, length, messages=msgs)
-            series.add(n, m.throughput)
+            extra = {}
+            rec = None
+            if contention:
+                # Counters only (limit=0 skips span recording); the
+                # circuit-lock aggregate becomes the row's extras.
+                rec = Recorder(limit=0)
+            m = fn(n, length, messages=msgs, recorder=rec)
+            if rec is not None:
+                agg = rec.circuit_lock_stats()
+                extra = {
+                    "lnvc_wait_ms": round(1e3 * agg.wait_seconds, 3),
+                    "lnvc_contended": agg.contended,
+                    "lnvc_acquires": agg.acquires,
+                }
+            series.add(n, m.throughput, **extra)
     return result
 
 
 def fig4(quick: bool = False) -> SweepResult:
     """Figure 4: one sender, N FCFS receivers."""
-    result = _receiver_sweep("fcfs", fcfs_throughput, quick)
+    result = _receiver_sweep("fcfs", fcfs_throughput, quick, contention=True)
     result.note("paper: 1024B roughly flat ~40-50 KB/s; small messages decline "
                 "with receivers (LNVC lock contention)")
+    result.note("extras per point: lnvc_wait_ms (total simulated ms spent "
+                "waiting on circuit locks), lnvc_contended / lnvc_acquires")
     return result
 
 
@@ -96,6 +116,62 @@ def fig5(quick: bool = False) -> SweepResult:
     result.note("paper: near-linear scaling; 687,245 B/s at 16 receivers x 1024B "
                 "(concurrent receive copies)")
     return result
+
+
+def _contention_sweep(figure: str, bench_name: str, fn, quick: bool,
+                      runtimes: tuple[str, ...], length: int) -> SweepResult:
+    result = SweepResult(
+        figure,
+        f"{bench_name} benchmark: circuit-lock contention vs. receiving "
+        f"processes ({length}B messages)",
+        "receivers",
+        "LNVC lock wait per message (microseconds; sim: simulated, "
+        "threads/procs: wall-clock)",
+    )
+    counts = (1, 2, 4, 8) if quick else (1, 2, 4, 8, 16)
+    msgs = 24 if quick else 64
+    result.recorders = {}
+    for kind in runtimes:
+        series = result.new_series(kind)
+        for n in counts:
+            rec = Recorder()
+            m = fn(n, length, messages=msgs, runtime=kind, recorder=rec)
+            agg = rec.circuit_lock_stats()
+            series.add(
+                n, 1e6 * agg.wait_seconds / msgs,
+                acquires=agg.acquires,
+                contended=agg.contended,
+                wait_ms=round(1e3 * agg.wait_seconds, 3),
+                max_wait_ms=round(1e3 * agg.max_wait, 3),
+                hold_ms=round(1e3 * agg.hold_seconds, 3),
+                throughput=round(m.throughput),
+            )
+            result.recorders[(kind, n)] = rec
+    result.note("sim waits are simulated seconds (deterministic); threads/"
+                "procs waits are wall-clock and vary run to run")
+    result.note("paper's Figure 4 story: at small messages the per-circuit "
+                "lock serializes sender and receivers, so wait grows with N")
+    return result
+
+
+def fig4_contention(quick: bool = False,
+                    runtimes: tuple[str, ...] = ("sim", "procs")) -> SweepResult:
+    """Figure 4's mechanism, profiled: FCFS circuit-lock wait vs receivers.
+
+    Runs the `fcfs` benchmark at 16-byte messages under a
+    :class:`repro.obs.Recorder` on each requested runtime and reports the
+    per-message LNVC lock wait.  The returned result carries a
+    ``recorders`` dict keyed ``(runtime, n)`` for exporting full traces.
+    """
+    return _contention_sweep("Figure 4 (contention)", "fcfs",
+                             fcfs_throughput, quick, runtimes, length=16)
+
+
+def fig5_contention(quick: bool = False,
+                    runtimes: tuple[str, ...] = ("sim", "procs")) -> SweepResult:
+    """Figure 5's counterpart: BROADCAST circuit-lock wait vs receivers."""
+    return _contention_sweep("Figure 5 (contention)", "broadcast",
+                             broadcast_throughput, quick, runtimes, length=16)
 
 
 def fig6(quick: bool = False) -> SweepResult:
@@ -404,4 +480,11 @@ FIGURES: dict[str, Callable[[bool], SweepResult]] = {
     "ablation_paging": ablation_paging,
     "ablation_cache": ablation_cache,
     "study_paradigm": study_paradigm,
+}
+
+#: Registry used by ``python -m repro.bench trace <fig>``: figures whose
+#: mechanism can be profiled with a Recorder across runtimes.
+CONTENTION: dict[str, Callable[..., SweepResult]] = {
+    "fig4": fig4_contention,
+    "fig5": fig5_contention,
 }

@@ -94,6 +94,38 @@ class SweepResult:
             lines.append(f"  note: {note}")
         return "\n".join(lines)
 
+    def format_extras(self) -> str:
+        """Render per-point extras as one aligned table per series.
+
+        Returns an empty string when no point carries extras.  Columns
+        appear in first-seen order, so sweeps that record the same keys
+        for every point get a stable layout.
+        """
+        parts = []
+        for s in self.series:
+            keys: list[str] = []
+            for p in s.points:
+                for k in p.extra:
+                    if k not in keys:
+                        keys.append(k)
+            if not keys:
+                continue
+            rows = [[self.x_label] + keys]
+            for p in s.points:
+                rows.append(
+                    [_fmt_x(p.x)] + [_fmt_extra(p.extra.get(k)) for k in keys]
+                )
+            widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+            lines = [f"{self.figure} extras — {s.label}:"]
+            for i, row in enumerate(rows):
+                lines.append(
+                    "  " + "  ".join(c.rjust(w) for c, w in zip(row, widths))
+                )
+                if i == 0:
+                    lines.append("  " + "-" * (sum(widths) + 2 * (len(widths) - 1)))
+            parts.append("\n".join(lines))
+        return "\n\n".join(parts)
+
     def to_dict(self) -> dict:
         """JSON-serializable form (used to archive experiment outputs)."""
         return {
@@ -120,6 +152,16 @@ class SweepResult:
 
 def _fmt_x(x: float) -> str:
     return str(int(x)) if float(x).is_integer() else f"{x:g}"
+
+
+def _fmt_extra(v: object) -> str:
+    if v is None:
+        return "-"
+    if isinstance(v, bool):
+        return str(v)
+    if isinstance(v, float):
+        return f"{v:g}"
+    return str(v)
 
 
 def format_rate(y: float) -> str:

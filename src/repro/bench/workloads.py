@@ -1,9 +1,10 @@
 """The paper's four synthetic benchmark programs (§4).
 
 Each function builds the worker set for one benchmark, runs it on a
-:class:`~repro.runtime.sim.SimRuntime` (the simulated Balance 21000) and
-returns measured throughput in bytes/second of *simulated* time — the
-same metric the paper plots:
+runtime (default: the simulated Balance 21000,
+:class:`~repro.runtime.sim.SimRuntime`) and returns measured throughput
+in bytes/second — of *simulated* time on the simulator, of wall-clock
+time on the real runtimes — the same metric the paper plots:
 
 * :func:`base_throughput` — Figure 3: one process loop-back, alternating
   ``message_send`` / ``message_receive`` of fixed-length messages.
@@ -20,6 +21,14 @@ same metric the paper plots:
 Timing windows exclude setup: workers synchronize on a barrier, record
 ``env.now()``, run the measured phase, and record ``env.now()`` again;
 the throughput denominator is ``max(end) - min(start)`` across workers.
+
+Every benchmark accepts ``runtime=`` (``"sim"``, ``"threads"`` or
+``"procs"``) and ``recorder=`` (a :class:`repro.obs.Recorder`), so the
+same workload can be profiled for lock contention on the simulator and
+on real threads or forked processes — the basis of the
+``python -m repro.bench trace`` subcommand.  ``machine`` and ``costs``
+only influence the ``"sim"`` runtime; real runtimes take however long
+they take.
 """
 
 from __future__ import annotations
@@ -32,11 +41,12 @@ from ..core.layout import MPFConfig
 from ..core.protocol import BROADCAST, FCFS
 from ..machine.balance import BALANCE_21000, MachineConfig
 from ..patterns import barrier
-from ..runtime.base import Env, RunResult
+from ..runtime.base import Env, RunResult, Runtime
 from ..runtime.sim import SimRuntime
 
 __all__ = [
     "Measurement",
+    "make_runtime",
     "base_throughput",
     "fcfs_throughput",
     "broadcast_throughput",
@@ -71,8 +81,28 @@ def _window(result: RunResult) -> float:
     return end - start
 
 
-def _sim(machine: MachineConfig, costs: Costs) -> SimRuntime:
-    return SimRuntime(machine=machine)
+def make_runtime(kind: str, machine: MachineConfig = BALANCE_21000,
+                 recorder=None) -> Runtime:
+    """Build the runtime a benchmark should run on.
+
+    ``kind`` is ``"sim"`` (simulated Balance 21000 — deterministic,
+    virtual time), ``"threads"`` (real Python threads, wall clock) or
+    ``"procs"`` (forked Unix processes over POSIX shared memory, wall
+    clock).  ``recorder`` is attached to whichever runtime is built, so
+    lock-contention profiles are comparable across the three.
+    """
+    if kind == "sim":
+        return SimRuntime(machine=machine, recorder=recorder)
+    if kind == "threads":
+        from ..runtime.threads import ThreadRuntime
+
+        return ThreadRuntime(recorder=recorder)
+    if kind == "procs":
+        from ..runtime.procs import ProcRuntime
+
+        return ProcRuntime(recorder=recorder)
+    raise ValueError(f"unknown runtime kind {kind!r} "
+                     "(expected 'sim', 'threads' or 'procs')")
 
 
 def base_throughput(
@@ -80,6 +110,8 @@ def base_throughput(
     messages: int = 64,
     machine: MachineConfig = BALANCE_21000,
     costs: Costs = DEFAULT_COSTS,
+    runtime: str = "sim",
+    recorder=None,
 ) -> Measurement:
     """Figure 3's `base` program: single-process loop-back throughput.
 
@@ -104,7 +136,8 @@ def base_throughput(
 
     cfg = MPFConfig(max_lnvcs=4, max_processes=2,
                     max_messages=16, message_pool_bytes=1 << 18)
-    result = _sim(machine, costs).run([worker], cfg=cfg, costs=costs)
+    result = make_runtime(runtime, machine, recorder).run(
+        [worker], cfg=cfg, costs=costs)
     return Measurement(messages * length, _window(result), result)
 
 
@@ -114,6 +147,8 @@ def fcfs_throughput(
     messages: int = 96,
     machine: MachineConfig = BALANCE_21000,
     costs: Costs = DEFAULT_COSTS,
+    runtime: str = "sim",
+    recorder=None,
 ) -> Measurement:
     """Figure 4's `fcfs` program: one sender, N FCFS receivers.
 
@@ -159,7 +194,8 @@ def fcfs_throughput(
         max_messages=max(256, messages + n + 8),
         message_pool_bytes=max(1 << 18, 2 * (messages + n) * (length + 16)),
     )
-    result = _sim(machine, costs).run([sender] + [receiver] * n, cfg=cfg, costs=costs)
+    result = make_runtime(runtime, machine, recorder).run(
+        [sender] + [receiver] * n, cfg=cfg, costs=costs)
     return Measurement(messages * length, _window(result), result)
 
 
@@ -169,6 +205,8 @@ def broadcast_throughput(
     messages: int = 96,
     machine: MachineConfig = BALANCE_21000,
     costs: Costs = DEFAULT_COSTS,
+    runtime: str = "sim",
+    recorder=None,
 ) -> Measurement:
     """Figure 5's `broadcast` program: one sender, N BROADCAST receivers.
 
@@ -209,7 +247,8 @@ def broadcast_throughput(
         max_messages=max(256, messages + 8),
         message_pool_bytes=max(1 << 18, 2 * messages * (length + 16)),
     )
-    result = _sim(machine, costs).run([sender] + [receiver] * n, cfg=cfg, costs=costs)
+    result = make_runtime(runtime, machine, recorder).run(
+        [sender] + [receiver] * n, cfg=cfg, costs=costs)
     return Measurement(n * messages * length, _window(result), result)
 
 
@@ -220,6 +259,8 @@ def random_throughput(
     machine: MachineConfig = BALANCE_21000,
     costs: Costs = DEFAULT_COSTS,
     seed: int = 1987,
+    runtime: str = "sim",
+    recorder=None,
 ) -> Measurement:
     """Figure 6's `random` program: fully connected random traffic.
 
@@ -280,5 +321,6 @@ def random_throughput(
         max_messages=max(512, p * messages + p * p + 16),
         message_pool_bytes=max(1 << 19, 2 * p * messages * (length + 16)),
     )
-    result = _sim(machine, costs).run([worker] * p, cfg=cfg, costs=costs)
+    result = make_runtime(runtime, machine, recorder).run(
+        [worker] * p, cfg=cfg, costs=costs)
     return Measurement(p * messages * length, _window(result), result)

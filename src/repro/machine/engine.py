@@ -123,6 +123,10 @@ class SimProcess:
     error: BaseException | None = None
     #: Lock the process must reacquire when woken from a channel.
     _wait_lock: int | None = None
+    #: True while reacquiring a lock on the way out of a WaitOn (the
+    #: reacquisition is implicit: it is not an Acquire effect, and the
+    #: recorder must not count it as one).
+    _implicit_reacquire: bool = False
     #: Simulated time spent blocked on locks (statistics).
     lock_wait_time: float = 0.0
     _blocked_since: float = 0.0
@@ -136,11 +140,13 @@ class SimProcess:
 class _SimLock:
     """A FIFO mutex in simulated time."""
 
-    __slots__ = ("owner", "waiters")
+    __slots__ = ("owner", "waiters", "acquired_at")
 
     def __init__(self) -> None:
         self.owner: SimProcess | None = None
         self.waiters: deque[SimProcess] = deque()
+        #: Simulated time of the current owner's grant (hold-time stats).
+        self.acquired_at = 0.0
 
 
 class _WaitChannel:
@@ -193,6 +199,10 @@ class Engine:
         ran more processes than the Balance's 20 CPUs).
     trace:
         Optional callable receiving ``(time, process_name, event_str)``.
+    recorder:
+        Optional :class:`repro.obs.Recorder` receiving structured
+        metrics hooks (lock wait/hold times, charge labels) with
+        simulated timestamps.  Observational: never changes timing.
     """
 
     def __init__(
@@ -203,6 +213,7 @@ class Engine:
         n_cpus: int = 20,
         trace: Callable[[float, str, str], None] | None = None,
         max_events: int = 200_000_000,
+        recorder=None,
     ) -> None:
         if n_locks < 1 or n_channels < 0:
             raise SimulationError("engine needs at least one lock")
@@ -216,6 +227,7 @@ class Engine:
         self._heap: list[tuple[float, int, SimProcess]] = []
         self._seq = 0
         self._trace = trace
+        self._recorder = recorder
         self._max_events = max_events
 
     # -- process management --------------------------------------------------
@@ -325,6 +337,11 @@ class Engine:
             self.timing.copy_started()
         self.stats.charges += 1
         self.stats.charged_seconds += dt
+        if self._recorder is not None:
+            # Stamp the charge at its end so exported spans cover
+            # [now, now + dt] once the recorder subtracts the duration.
+            self._recorder.on_charge(self.now + dt, proc.name, work.label,
+                                     dt, work.instrs, work.flops)
         self._schedule(proc, dt)
 
     def _lock(self, lock_id: int) -> _SimLock:
@@ -344,6 +361,10 @@ class Engine:
         self.stats.lock_acquires += 1
         if lock.owner is None:
             lock.owner = proc
+            lock.acquired_at = self.now
+            if self._recorder is not None:
+                self._recorder.on_acquire(self.now, proc.name, lock_id,
+                                          0.0, contended=False)
             self._schedule(proc, self.timing.acquire_cost())
         else:
             if lock.owner is proc:
@@ -362,6 +383,9 @@ class Engine:
             raise SimulationError(
                 f"process {proc.name!r} released lock {lock_id} it does not own"
             )
+        if self._recorder is not None:
+            self._recorder.on_release(self.now, proc.name, lock_id,
+                                      self.now - lock.acquired_at)
         self._grant_next(lock_id, lock)
         self._schedule(proc, self.timing.release_cost())
 
@@ -370,9 +394,17 @@ class Engine:
         if lock.waiters:
             nxt = lock.waiters.popleft()
             lock.owner = nxt
+            lock.acquired_at = self.now
             nxt.state = _RUNNABLE
             nxt._wait_lock = None
             nxt.lock_wait_time += self.now - nxt._blocked_since
+            if self._recorder is not None:
+                self._recorder.on_acquire(
+                    self.now, nxt.name, lock_id,
+                    self.now - nxt._blocked_since, contended=True,
+                    counted=not nxt._implicit_reacquire,
+                )
+            nxt._implicit_reacquire = False
             self._schedule(nxt, self.timing.acquire_cost())
         else:
             lock.owner = None
@@ -385,6 +417,12 @@ class Engine:
                 f"without holding lock {lock_id}"
             )
         channel = self._chan(chan)
+        if self._recorder is not None:
+            # WaitOn releases the circuit lock on the caller's behalf;
+            # end the hold span without counting a Release effect.
+            self._recorder.on_release(self.now, proc.name, lock_id,
+                                      self.now - lock.acquired_at,
+                                      counted=False)
         self._grant_next(lock_id, lock)
         proc.state = _WAIT_CHAN
         proc._wait_lock = lock_id
@@ -396,21 +434,37 @@ class Engine:
         n = len(channel.sleepers)
         self.stats.wakes += 1
         self.stats.woken += n
+        if self._recorder is not None:
+            self._recorder.on_wake(self.now, proc.name, chan, n)
         while channel.sleepers:
             sleeper = channel.sleepers.popleft()
             lock_id = sleeper._wait_lock
             assert lock_id is not None
             lock = self._lock(lock_id)
+            # Split the sleeper's blocked interval here: what has elapsed
+            # was channel sleep; whatever follows (if the lock is busy)
+            # is lock wait.  The lock_wait_time total is unchanged — it
+            # still accumulates the whole blocked interval.
+            slept = self.now - sleeper._blocked_since
+            sleeper.lock_wait_time += slept
+            sleeper._blocked_since = self.now
+            if self._recorder is not None:
+                self._recorder.on_chan_wait(self.now, sleeper.name, chan, slept)
             # The sleeper must reacquire its lock before resuming: enter
             # the lock's FIFO (or take it if free).  Its WaitOn resumes
             # only once the lock is held again.
             if lock.owner is None:
                 lock.owner = sleeper
+                lock.acquired_at = self.now
                 sleeper.state = _RUNNABLE
                 sleeper._wait_lock = None
-                sleeper.lock_wait_time += self.now - sleeper._blocked_since
+                if self._recorder is not None:
+                    self._recorder.on_acquire(self.now, sleeper.name, lock_id,
+                                              0.0, contended=False,
+                                              counted=False)
                 self._schedule(sleeper, self.timing.acquire_cost())
             else:
                 sleeper.state = _WAIT_LOCK
+                sleeper._implicit_reacquire = True
                 lock.waiters.append(sleeper)
         self._schedule(proc, self.timing.wake_cost(n))

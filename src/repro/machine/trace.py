@@ -1,11 +1,11 @@
-"""Execution tracing for simulated runs.
+"""Execution tracing for simulated runs (compatibility home of ``Tracer``).
 
-The paper's analysis leans on instrumentation ("Detailed measurements
-show that, for large messages, LNVC updates are of negligible cost.
-Instead, message copying costs dominate").  A :class:`Tracer` plugs into
+The effect-recording core now lives in :mod:`repro.obs.events` as
+:class:`~repro.obs.events.EffectLog`, where it serves the runtime-wide
+observability layer; :class:`Tracer` is a behaviour-preserving subclass
+kept at its historical import path.  A :class:`Tracer` plugs into
 :class:`~repro.runtime.sim.SimRuntime` (or the engine directly) and
-records every dispatched effect with its simulated timestamp, supporting
-exactly that style of breakdown:
+records every dispatched effect with its simulated timestamp:
 
 * :meth:`Tracer.summary` — per-process counts and charged-time split by
   work label (``send-copy``, ``recv-copy``, ``send-link``, ...), the
@@ -15,99 +15,23 @@ exactly that style of breakdown:
 * :meth:`Tracer.timeline` — a plain-text event timeline for debugging
   protocol interleavings.
 
-Tracing is observational: it never changes simulated timing.
+Tracing is observational: it never changes simulated timing.  For
+cross-runtime measurement (threads, procs, posix) use
+:class:`repro.obs.Recorder`, which does not depend on effect ``repr``
+strings and therefore also works where no engine exists.
 """
 
 from __future__ import annotations
 
-import re
-from collections import Counter, defaultdict
-from dataclasses import dataclass, field
+from ..obs.events import EffectLog, TraceEvent
 
 __all__ = ["TraceEvent", "Tracer"]
 
-_CHARGE_RE = re.compile(r"Charge\(work=Work\((.*)\)\)")
-_FIELD_RE = re.compile(r"(\w+)=([^,)]+)")
 
-
-@dataclass(frozen=True)
-class TraceEvent:
-    """One dispatched effect."""
-
-    time: float
-    process: str
-    text: str
-
-    @property
-    def kind(self) -> str:
-        """Effect class name (``Acquire``, ``Charge``, ...)."""
-        return self.text.split("(", 1)[0]
-
-
-@dataclass
-class Tracer:
+class Tracer(EffectLog):
     """Collects engine trace callbacks; pass as ``SimRuntime(trace=...)``.
 
-    ``limit`` bounds memory: recording stops (but counting continues)
-    after that many events.
+    Identical to :class:`~repro.obs.events.EffectLog` (the dataclass it
+    inherits everything from); retained so existing imports and pickles
+    keep working.
     """
-
-    limit: int = 100_000
-    events: list[TraceEvent] = field(default_factory=list)
-    #: Total events seen, including those past ``limit``.
-    total: int = 0
-
-    def __call__(self, time: float, process: str, text: str) -> None:
-        self.total += 1
-        if len(self.events) < self.limit:
-            self.events.append(TraceEvent(time, process, text))
-
-    # -- analyses --------------------------------------------------------------
-
-    def summary(self) -> dict[str, Counter]:
-        """Per-process effect-kind counts."""
-        out: dict[str, Counter] = defaultdict(Counter)
-        for ev in self.events:
-            out[ev.process][ev.kind] += 1
-        return dict(out)
-
-    def charge_breakdown(self) -> Counter:
-        """Total instruction budget per work label, across all processes.
-
-        This is the "where does the time go" view: for the base
-        benchmark it shows copy labels dominating at large messages and
-        fixed labels dominating at small ones — the paper's Figure 3
-        analysis, reproduced from the trace.
-        """
-        totals: Counter = Counter()
-        for ev in self.events:
-            m = _CHARGE_RE.match(ev.text)
-            if not m:
-                continue
-            fields = dict(_FIELD_RE.findall(m.group(1)))
-            label = fields.get("label", "''").strip("'\"") or "(unlabeled)"
-            totals[label] += int(fields.get("instrs", "0"))
-        return totals
-
-    def lock_profile(self) -> Counter:
-        """Acquisition attempts per lock id."""
-        counts: Counter = Counter()
-        for ev in self.events:
-            if ev.kind == "Acquire":
-                m = _FIELD_RE.search(ev.text)
-                if m:
-                    counts[int(m.group(2))] += 1
-        return counts
-
-    def timeline(self, first: int = 40) -> str:
-        """Plain-text listing of the first ``first`` events."""
-        lines = [f"{'time':>12}  {'process':<12} effect"]
-        for ev in self.events[:first]:
-            lines.append(f"{ev.time:>12.6f}  {ev.process:<12} {ev.text}")
-        if self.total > first:
-            lines.append(f"... ({self.total - first} more events)")
-        return "\n".join(lines)
-
-    def between(self, t0: float, t1: float) -> list[TraceEvent]:
-        """Recorded events with ``t0 <= time < t1``."""
-        return [ev for ev in self.events if t0 <= ev.time < t1]

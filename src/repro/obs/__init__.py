@@ -1,0 +1,59 @@
+"""Observability: runtime-agnostic metrics, traces and exporters.
+
+The paper's whole analysis rests on instrumentation ("Detailed
+measurements show that, for large messages, LNVC updates are of
+negligible cost.  Instead, message copying costs dominate").  This
+package is the reproduction's measurement layer, usable on *every*
+runtime rather than only the simulator:
+
+* :class:`EffectLog` — the raw effect stream recorder extracted from
+  the old ``repro.machine.trace.Tracer`` (which is now a compatibility
+  subclass);
+* :class:`Recorder` — structured counters: per-lock acquisition /
+  contention / wait / hold statistics with histograms, a per-Work-label
+  time split, and per-process effect counts.  The simulator feeds it
+  simulated time; threads, procs and posix runtimes feed it wall-clock
+  time measured inside :func:`repro.runtime.threads.drive`;
+* exporters (:mod:`repro.obs.export`) — Tracer-style text tables, JSON
+  lines, and the Chrome ``chrome://tracing`` Trace Event Format.
+
+Attach a recorder with the runtime's ``recorder=`` parameter::
+
+    from repro import Recorder, SimRuntime, ThreadRuntime
+
+    rec = Recorder()
+    SimRuntime(recorder=rec).run(workers)       # simulated seconds
+    rec2 = Recorder()
+    ThreadRuntime(recorder=rec2).run(workers)   # wall-clock seconds
+    print(rec.format_lock_profile())
+
+See docs/observability.md for the full guide.
+"""
+
+from .events import EffectLog, TraceEvent
+from .export import (
+    chrome_trace,
+    format_lock_profile,
+    format_summary,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .recorder import Histogram, LockStats, Recorder, Span, WorkStats, lock_name
+
+__all__ = [
+    "EffectLog",
+    "TraceEvent",
+    "Recorder",
+    "Span",
+    "LockStats",
+    "WorkStats",
+    "Histogram",
+    "lock_name",
+    "format_lock_profile",
+    "format_summary",
+    "to_jsonl",
+    "write_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+]

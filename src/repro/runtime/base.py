@@ -151,6 +151,15 @@ class Runtime(abc.ABC):
     #: Human-readable runtime kind.
     kind: str = "abstract"
 
+    #: Optional :class:`repro.obs.Recorder` attached at construction
+    #: (``SimRuntime(recorder=...)``, ``ThreadRuntime(recorder=...)``,
+    #: ``ProcRuntime(recorder=...)``).  Runtimes feed it the same
+    #: structured metrics — per-lock wait/hold, per-Work-label split —
+    #: in whatever timebase they have: simulated seconds on the
+    #: simulator, wall-clock seconds on real threads and processes.
+    #: Recording is observational; ``None`` costs nothing.
+    recorder = None
+
     @abc.abstractmethod
     def run(
         self,

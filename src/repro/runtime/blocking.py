@@ -46,53 +46,64 @@ class MPFSystem:
         self.view = MPFView(region, layout, costs)
         self.sync = RealSync(self.cfg, threading.Lock, threading.Condition)
 
-    def client(self, pid: int) -> "BlockingMPF":
+    def client(self, pid: int, recorder=None) -> "BlockingMPF":
         """A blocking client bound to process id ``pid``.
 
         Each concurrent thread must use its own ``pid`` — process ids are
         the identity MPF uses for connections, exactly as in the paper.
+        ``recorder`` (a :class:`repro.obs.Recorder`) makes every call of
+        this client record wall-clock lock and work metrics.
         """
         if not 0 <= pid < self.cfg.max_processes:
             raise ValueError(f"pid {pid} outside [0, {self.cfg.max_processes})")
-        return BlockingMPF(self.view, self.sync, pid)
+        return BlockingMPF(self.view, self.sync, pid, recorder=recorder)
 
 
 class BlockingMPF:
     """The eight MPF primitives as plain blocking calls."""
 
-    __slots__ = ("view", "sync", "pid")
+    __slots__ = ("view", "sync", "pid", "recorder", "process")
 
-    def __init__(self, view: MPFView, sync: RealSync, pid: int) -> None:
+    def __init__(self, view: MPFView, sync: RealSync, pid: int,
+                 recorder=None, process: str | None = None) -> None:
         self.view = view
         self.sync = sync
         self.pid = pid
+        #: Optional :class:`repro.obs.Recorder` (wall-clock metrics).
+        self.recorder = recorder
+        #: Process label used in recorded metrics; defaults to ``p<pid>``.
+        self.process = process or f"p{pid}"
+
+    def _drive(self, gen) -> object:
+        return drive(gen, self.sync, recorder=self.recorder,
+                     process=self.process)
 
     def open_send(self, name: str) -> int:
         """Open (creating if needed) a send connection; returns the circuit id."""
-        return drive(ops.open_send(self.view, self.pid, name), self.sync)
+        return self._drive(ops.open_send(self.view, self.pid, name))
 
     def open_receive(self, name: str, protocol: Protocol) -> int:
         """Open a receive connection with the given protocol."""
-        return drive(ops.open_receive(self.view, self.pid, name, protocol), self.sync)
+        return self._drive(ops.open_receive(self.view, self.pid, name, protocol))
 
     def close_send(self, lnvc_id: int) -> None:
         """Close this process's send connection."""
-        drive(ops.close_send(self.view, self.pid, lnvc_id), self.sync)
+        self._drive(ops.close_send(self.view, self.pid, lnvc_id))
 
     def close_receive(self, lnvc_id: int) -> None:
         """Close this process's receive connection."""
-        drive(ops.close_receive(self.view, self.pid, lnvc_id), self.sync)
+        self._drive(ops.close_receive(self.view, self.pid, lnvc_id))
 
     def message_send(self, lnvc_id: int, data: bytes) -> int:
         """Send asynchronously; returns the message sequence number."""
-        return drive(ops.message_send(self.view, self.pid, lnvc_id, data), self.sync)
+        return self._drive(ops.message_send(self.view, self.pid, lnvc_id, data))
 
     def message_receive(self, lnvc_id: int, max_len: int | None = None) -> bytes:
         """Blocking receive; returns the payload."""
-        return drive(
-            ops.message_receive(self.view, self.pid, lnvc_id, max_len), self.sync
+        return self._drive(
+            ops.message_receive(self.view, self.pid, lnvc_id, max_len)
         )
 
     def check_receive(self, lnvc_id: int) -> int:
         """Count messages currently available to this process."""
-        return drive(ops.check_receive(self.view, self.pid, lnvc_id), self.sync)
+        return self._drive(ops.check_receive(self.view, self.pid, lnvc_id))

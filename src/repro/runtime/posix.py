@@ -58,8 +58,15 @@ class FileLock:
         self.path = path
         self._fh = open(path, "a+b")  # noqa: SIM115 - held for object lifetime
 
-    def acquire(self) -> None:
+    def acquire(self, blocking: bool = True) -> bool:
+        if not blocking:
+            try:
+                fcntl.flock(self._fh, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                return False
+            return True
         fcntl.flock(self._fh, fcntl.LOCK_EX)
+        return True
 
     def release(self) -> None:
         fcntl.flock(self._fh, fcntl.LOCK_UN)
@@ -187,11 +194,18 @@ class PosixSegment:
         sync = FlockSync(_lock_dir(name), cfg, poll_interval)
         return cls(name, cfg, shm, view, sync, owner=False)
 
-    def client(self, pid: int) -> BlockingMPF:
-        """A blocking MPF client bound to process id ``pid``."""
+    def client(self, pid: int, recorder=None) -> BlockingMPF:
+        """A blocking MPF client bound to process id ``pid``.
+
+        ``recorder`` (a :class:`repro.obs.Recorder`) makes this client
+        record wall-clock lock-contention and work metrics — over flock
+        files the non-blocking first attempt uses ``LOCK_NB``, so
+        contended and uncontended acquisitions are distinguished exactly
+        as with in-process locks.
+        """
         if not 0 <= pid < self.cfg.max_processes:
             raise ValueError(f"pid {pid} outside [0, {self.cfg.max_processes})")
-        return BlockingMPF(self.view, self._sync, pid)
+        return BlockingMPF(self.view, self._sync, pid, recorder=recorder)
 
     def close(self) -> None:
         """Detach this process (the segment itself survives)."""

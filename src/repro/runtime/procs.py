@@ -36,8 +36,13 @@ class ProcRuntime(Runtime):
 
     kind = "procs"
 
-    def __init__(self, join_timeout: float | None = 120.0) -> None:
+    def __init__(self, join_timeout: float | None = 120.0, recorder=None) -> None:
         self.join_timeout = join_timeout
+        #: Optional :class:`repro.obs.Recorder`.  Each forked worker
+        #: records into a private child recorder whose picklable
+        #: snapshot rides home on the result queue; the parent merges
+        #: the snapshots in rank order after the join.
+        self.recorder = recorder
 
     def run(
         self,
@@ -67,13 +72,21 @@ class ProcRuntime(Runtime):
 
             t0 = time.perf_counter()
             clock = lambda: time.perf_counter() - t0  # noqa: E731
+            if self.recorder is not None:
+                self.recorder.clock = "wall"
+            recording = self.recorder is not None
 
             def body(name: str, rank: int, worker: Worker) -> None:
                 env = Env(view, rank, nprocs, clock)
+                rec = self.recorder.child() if recording else None
                 try:
-                    outq.put((name, True, drive(worker(env), sync)))
+                    value = drive(worker(env), sync, recorder=rec,
+                                  process=name, clock=clock)
+                    outq.put((name, True, value,
+                              rec.snapshot() if rec else None))
                 except BaseException as exc:
-                    outq.put((name, False, repr(exc)))
+                    outq.put((name, False, repr(exc),
+                              rec.snapshot() if rec else None))
 
             procs = [
                 ctx.Process(target=body, args=(n, i, w), name=n, daemon=True)
@@ -84,11 +97,14 @@ class ProcRuntime(Runtime):
 
             results: dict[str, object] = {}
             failures: dict[str, str] = {}
+            snapshots: dict[str, dict] = {}
             deadline = None if self.join_timeout is None else t0 + self.join_timeout
             for _ in procs:
                 if deadline is not None and time.perf_counter() > deadline:
                     break
-                name, ok, payload = outq.get()
+                name, ok, payload, snap = outq.get()
+                if snap is not None:
+                    snapshots[name] = snap
                 if ok:
                     results[name] = payload
                 else:
@@ -100,6 +116,10 @@ class ProcRuntime(Runtime):
                     p.join(1.0)
                     if p.name not in results and p.name not in failures:
                         failures[p.name] = "worker did not finish (blocked receive?)"
+            if self.recorder is not None:
+                for name in names:  # deterministic merge order
+                    if name in snapshots:
+                        self.recorder.merge(snapshots[name])
             if failures:
                 name = sorted(failures)[0]
                 raise RuntimeError(f"worker {name!r} failed: {failures[name]}")

@@ -34,10 +34,14 @@ class SimRuntime(Runtime):
         machine: MachineConfig = BALANCE_21000,
         trace=None,
         until: float | None = None,
+        recorder=None,
     ) -> None:
         self.machine = machine
         self._trace = trace
         self._until = until
+        #: Optional :class:`repro.obs.Recorder` fed simulated-time
+        #: metrics (lock wait/hold, per-label charges) during runs.
+        self.recorder = recorder
         #: Populated after each :meth:`run` for post-mortem inspection.
         self.last_engine: Engine | None = None
         self.last_view: MPFView | None = None
@@ -63,12 +67,15 @@ class SimRuntime(Runtime):
         timing.cache.set_demand_source(
             lambda: HDR.get(region, "live_blocks") * stride
         )
+        if self.recorder is not None:
+            self.recorder.clock = "sim"
         engine = Engine(
             n_locks=cfg.n_locks,
             n_channels=cfg.n_channels,
             timing=timing,
             n_cpus=self.machine.n_cpus,
             trace=self._trace,
+            recorder=self.recorder,
         )
         clock = lambda: engine.now  # noqa: E731 - tiny closure
         for rank, (name, worker) in enumerate(zip(names, workers)):

@@ -46,12 +46,69 @@ class RealSync:
         ]
 
 
-def drive(gen: Generator, sync: RealSync) -> object:
+def drive(
+    gen: Generator,
+    sync: RealSync,
+    recorder=None,
+    process: str = "p0",
+    clock=None,
+) -> object:
     """Trampoline: run an effect generator against real primitives.
 
     Returns the generator's return value.  ``Charge`` effects are free —
     real time passes on its own.
+
+    With a :class:`repro.obs.Recorder` attached, the trampoline measures
+    each blocking primitive with ``clock`` (default
+    ``time.perf_counter``): lock wait time (via a non-blocking first
+    attempt where the lock supports it), lock hold time, and condition
+    sleep time — the same profile the simulated engine records in
+    simulated time.  ``Charge`` labels are tallied by instruction budget
+    (their wall time is zero: real compute takes real time by itself).
     """
+    if recorder is None:
+        value: object = None
+        while True:
+            try:
+                effect = gen.send(value)
+            except StopIteration as stop:
+                return stop.value
+            value = None
+            if isinstance(effect, Charge):
+                continue
+            if isinstance(effect, Acquire):
+                sync.locks[effect.lock_id].acquire()
+            elif isinstance(effect, Release):
+                sync.locks[effect.lock_id].release()
+            elif isinstance(effect, WaitOn):
+                expected = FIRST_LNVC_LOCK + effect.chan
+                if effect.lock_id != expected:
+                    raise RuntimeError(
+                        f"WaitOn(chan={effect.chan}) under lock {effect.lock_id}; "
+                        f"expected circuit lock {expected}"
+                    )
+                # The caller holds the circuit lock, which is exactly the
+                # condition's lock: wait() releases and reacquires atomically.
+                sync.conditions[effect.chan].wait()
+            elif isinstance(effect, Wake):
+                cond = sync.conditions[effect.chan]
+                # MPF wakes after releasing the circuit lock, so take the
+                # condition's lock briefly to notify.
+                with cond:
+                    cond.notify_all()
+            else:
+                raise RuntimeError(
+                    f"non-effect {effect!r} yielded to real runtime"
+                )
+    return _drive_recorded(gen, sync, recorder, process,
+                           clock or time.perf_counter)
+
+
+def _drive_recorded(gen: Generator, sync: RealSync, recorder,
+                    process: str, clock) -> object:
+    """The instrumented twin of :func:`drive` (kept separate so the
+    common uninstrumented path stays allocation-free)."""
+    held_since: dict[int, float] = {}
     value: object = None
     while True:
         try:
@@ -60,11 +117,32 @@ def drive(gen: Generator, sync: RealSync) -> object:
             return stop.value
         value = None
         if isinstance(effect, Charge):
-            continue
-        if isinstance(effect, Acquire):
-            sync.locks[effect.lock_id].acquire()
+            w = effect.work
+            recorder.on_charge(clock(), process, w.label, 0.0,
+                               w.instrs, w.flops)
+        elif isinstance(effect, Acquire):
+            lock = sync.locks[effect.lock_id]
+            contended = False
+            try:
+                got = lock.acquire(False)
+            except TypeError:  # lock type without a non-blocking mode
+                got = False
+            if not got:
+                t0 = clock()
+                lock.acquire()
+                wait = clock() - t0
+                contended = True
+            else:
+                wait = 0.0
+            now = clock()
+            recorder.on_acquire(now, process, effect.lock_id, wait, contended)
+            held_since[effect.lock_id] = now
         elif isinstance(effect, Release):
-            sync.locks[effect.lock_id].release()
+            lock = sync.locks[effect.lock_id]
+            lock.release()
+            now = clock()
+            recorder.on_release(now, process, effect.lock_id,
+                                now - held_since.pop(effect.lock_id, now))
         elif isinstance(effect, WaitOn):
             expected = FIRST_LNVC_LOCK + effect.chan
             if effect.lock_id != expected:
@@ -72,15 +150,24 @@ def drive(gen: Generator, sync: RealSync) -> object:
                     f"WaitOn(chan={effect.chan}) under lock {effect.lock_id}; "
                     f"expected circuit lock {expected}"
                 )
-            # The caller holds the circuit lock, which is exactly the
-            # condition's lock: wait() releases and reacquires atomically.
+            t0 = clock()
+            recorder.on_release(t0, process, effect.lock_id,
+                                t0 - held_since.pop(effect.lock_id, t0),
+                                counted=False)
             sync.conditions[effect.chan].wait()
+            now = clock()
+            recorder.on_chan_wait(now, process, effect.chan, now - t0)
+            # wait() returns with the circuit lock re-held: a new hold
+            # span starts, without counting an Acquire effect.
+            recorder.on_acquire(now, process, effect.lock_id, 0.0,
+                                contended=False, counted=False)
+            held_since[effect.lock_id] = now
         elif isinstance(effect, Wake):
             cond = sync.conditions[effect.chan]
-            # MPF wakes after releasing the circuit lock, so take the
-            # condition's lock briefly to notify.
             with cond:
                 cond.notify_all()
+            # Real conditions do not report how many sleepers they woke.
+            recorder.on_wake(clock(), process, effect.chan, 0)
         else:
             raise RuntimeError(f"non-effect {effect!r} yielded to real runtime")
 
@@ -90,11 +177,15 @@ class ThreadRuntime(Runtime):
 
     kind = "threads"
 
-    def __init__(self, join_timeout: float | None = 120.0) -> None:
+    def __init__(self, join_timeout: float | None = 120.0, recorder=None) -> None:
         #: Seconds to wait for worker threads; ``None`` waits forever.  A
         #: blocked-forever receive (paper §3.2's lost-message hazard)
         #: surfaces as a timeout error instead of a hang.
         self.join_timeout = join_timeout
+        #: Optional :class:`repro.obs.Recorder`.  Each worker thread
+        #: records into a private child recorder (so measurement adds no
+        #: cross-thread contention of its own) merged after the join.
+        self.recorder = recorder
         self.last_view: MPFView | None = None
 
     def run(
@@ -118,11 +209,18 @@ class ThreadRuntime(Runtime):
 
         results: dict[str, object] = {}
         errors: dict[str, BaseException] = {}
+        locals_: dict[str, object] = {}
+        if self.recorder is not None:
+            self.recorder.clock = "wall"
 
         def body(name: str, rank: int, worker: Worker) -> None:
             env = Env(view, rank, nprocs, clock)
+            rec = None
+            if self.recorder is not None:
+                rec = locals_[name] = self.recorder.child()
             try:
-                results[name] = drive(worker(env), sync)
+                results[name] = drive(worker(env), sync, recorder=rec,
+                                      process=name, clock=clock)
             except BaseException as exc:  # surfaced after join
                 errors[name] = exc
 
@@ -139,6 +237,11 @@ class ThreadRuntime(Runtime):
                     f"worker {t.name!r} did not finish within "
                     f"{self.join_timeout}s (blocked receive?)"
                 )
+        if self.recorder is not None:
+            for name in names:  # deterministic merge order
+                rec = locals_.get(name)
+                if rec is not None:
+                    self.recorder.merge(rec.snapshot())
         if errors:
             name = sorted(errors)[0]
             raise errors[name]

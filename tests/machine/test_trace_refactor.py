@@ -1,0 +1,86 @@
+"""The Tracer extraction into ``repro.obs`` must be invisible.
+
+``repro.machine.trace.Tracer`` is now a thin subclass of
+``repro.obs.EffectLog``; these tests pin that the move changed nothing
+observable — the event stream a sim run produces through either name is
+byte-identical, and the Recorder's Tracer-compatible tables agree with
+the Tracer itself on the same run.
+"""
+
+from repro.core.protocol import FCFS
+from repro.machine.trace import Tracer, TraceEvent
+from repro.obs import EffectLog, Recorder
+from repro.obs.events import TraceEvent as ObsTraceEvent
+from repro.runtime.sim import SimRuntime
+
+
+def pingpong(env):
+    sid = yield from env.open_send("loop")
+    rid = yield from env.open_receive("loop", FCFS)
+    for _ in range(3):
+        yield from env.message_send(sid, b"y" * 48)
+        yield from env.message_receive(rid)
+    yield from env.close_send(sid)
+    yield from env.close_receive(rid)
+
+
+def fanout(env):
+    if env.rank == 0:
+        cid = yield from env.open_send("pipe")
+        for _ in range(4):
+            yield from env.message_send(cid, b"z" * 16)
+        yield from env.message_send(cid, b"")
+        yield from env.message_send(cid, b"")
+        yield from env.close_send(cid)
+    else:
+        cid = yield from env.open_receive("pipe", FCFS)
+        while (yield from env.message_receive(cid)):
+            pass
+        yield from env.close_receive(cid)
+
+
+def test_tracer_is_effectlog():
+    assert issubclass(Tracer, EffectLog)
+    assert TraceEvent is ObsTraceEvent
+
+
+def test_event_stream_byte_identical():
+    """EffectLog passed as ``trace=`` records the exact same events the
+    Tracer name records — same times, processes, texts, same order."""
+    for workers in ([pingpong], [fanout, fanout, fanout]):
+        tracer, log = Tracer(), EffectLog()
+        SimRuntime(trace=tracer).run(workers)
+        SimRuntime(trace=log).run(workers)
+        assert tracer.total == log.total
+        assert tracer.events == log.events
+        assert repr(tracer.events[0]).replace("Tracer", "EffectLog") == repr(
+            log.events[0]
+        ).replace("Tracer", "EffectLog")
+
+
+def test_derived_tables_identical():
+    tracer, log = Tracer(), EffectLog()
+    SimRuntime(trace=tracer).run([fanout, fanout, fanout])
+    SimRuntime(trace=log).run([fanout, fanout, fanout])
+    assert tracer.summary() == log.summary()
+    assert tracer.lock_profile() == log.lock_profile()
+    assert tracer.charge_breakdown() == log.charge_breakdown()
+    assert tracer.timeline() == log.timeline()
+
+
+def test_recorder_matches_tracer_on_same_run():
+    """Tracer and Recorder attached to one run see the same effects."""
+    tracer, rec = Tracer(), Recorder()
+    SimRuntime(trace=tracer, recorder=rec).run([fanout, fanout, fanout])
+    assert rec.summary() == tracer.summary()
+    assert rec.lock_profile() == tracer.lock_profile()
+    assert rec.charge_breakdown() == tracer.charge_breakdown()
+
+
+def test_recording_does_not_perturb_timing():
+    bare = SimRuntime().run([fanout, fanout, fanout])
+    observed = SimRuntime(trace=Tracer(), recorder=Recorder()).run(
+        [fanout, fanout, fanout]
+    )
+    assert observed.elapsed == bare.elapsed
+    assert observed.results == bare.results
