@@ -1,6 +1,9 @@
 # Convenience targets for the MPF reproduction.
 
 PY ?= python
+# Point-runner processes for figure sweeps; output is byte-identical to
+# a serial run (each point is an independent deterministic simulation).
+JOBS ?= 4
 
 .PHONY: install test bench shapes figures figures-quick clean
 
@@ -17,13 +20,15 @@ shapes:
 	$(PY) -m pytest benchmarks/ --benchmark-disable -q
 
 figures:
-	$(PY) -m repro.bench all --json figures_full.json | tee figures_full.txt
+	$(PY) -m repro.bench all --jobs $(JOBS) --json figures_full.json | tee figures_full.txt
 
 figures-quick:
 	$(PY) -m repro.bench all --quick --plot
 
+# Re-measure against the committed archive (figures_full.json is reused
+# as the reference, not regenerated).
 compare:
-	$(PY) -m repro.bench all --json /tmp/mpf_after.json >/dev/null && \
+	$(PY) -m repro.bench all --jobs $(JOBS) --json /tmp/mpf_after.json >/dev/null && \
 	$(PY) -m repro.bench.compare figures_full.json /tmp/mpf_after.json
 
 clean:

@@ -41,6 +41,7 @@ import numpy as np
 from ..core.costmodel import Costs, DEFAULT_COSTS
 from ..core.layout import MPFConfig
 from ..core.protocol import BROADCAST, FCFS
+from ..core.work import Work
 from ..machine.balance import BALANCE_21000, MachineConfig
 from ..patterns import barrier, gather, select_receive
 from ..runtime.base import Env
@@ -173,9 +174,14 @@ def _arbiter(env: Env, n: int, p: int):
             # Deterministic tie-break: larger magnitude, then lower row.
             if val > best_val or (val == best_val and row < best_row):
                 best_val, best_row = val, row
-        yield from env.compute(flops=p)
         winner = 1 + _owner(n, p, best_row)
-        yield from env.message_send(advise[winner], _SEL.pack(best_row))
+        # Compute charge fused into the send (identical simulated time,
+        # one scheduler event instead of two).
+        yield from env.message_send(
+            advise[winner],
+            _SEL.pack(best_row),
+            prelude=Work(flops=p, label="app-compute"),
+        )
     yield from barrier(env, "gj.end", p + 1)
     for cid in advise.values():
         yield from env.close_send(cid)
@@ -215,8 +221,11 @@ def _worker(env: Env, n: int, p: int, a_all: np.ndarray, b_all: np.ndarray):
             val, row = abs(float(a[i, k])), lo + int(i)
         else:
             val, row = -1.0, 0
-        yield from env.compute(flops=max(1, len(free)))
-        yield from env.message_send(max_out, _MAX.pack(val, row))
+        yield from env.message_send(
+            max_out,
+            _MAX.pack(val, row),
+            prelude=Work(flops=max(1, len(free)), label="app-compute"),
+        )
 
         # 2. Await either an advise (we won) or the pivot broadcast.  MPF
         #    has no select; poll both circuits with check_receive as the
@@ -235,9 +244,10 @@ def _worker(env: Env, n: int, p: int, a_all: np.ndarray, b_all: np.ndarray):
                 a[i, k:] /= piv
                 b[i] /= piv
                 used[i] = True
-                yield from env.compute(flops=(n - k + 1))
                 row = _HDR.pack(k, sel) + a[i, k:].tobytes() + b[i : i + 1].tobytes()
-                yield from env.message_send(pivot_out, row)
+                yield from env.message_send(
+                    pivot_out, row, prelude=Work(flops=(n - k + 1), label="app-compute")
+                )
             else:
                 payload = msg
 

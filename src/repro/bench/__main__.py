@@ -4,11 +4,22 @@ Usage::
 
     python -m repro.bench fig3 fig7        # selected figures
     python -m repro.bench all              # everything (full sweeps)
+    python -m repro.bench all --jobs 4     # parallel point runners
     python -m repro.bench all --quick      # reduced sweeps
     python -m repro.bench fig6 --json out.json
 
 Each figure prints the table of series the paper plots; ``--json``
-archives the raw points.
+archives the raw points.  ``--jobs N`` measures sweep points on a pool
+of N worker processes; every point is an independent deterministic
+simulation and results are reassembled in sweep order, so the output is
+byte-identical to a serial run.  ``--timings PATH`` archives per-figure
+wall times as JSON (how BENCH_*.json files are produced).
+
+The ``profile`` subcommand runs one figure under :mod:`cProfile` and
+prints the hottest functions — the tool that guided the interpreter
+fast path::
+
+    python -m repro.bench profile fig7 --quick --limit 25
 
 The ``trace`` subcommand profiles a figure's lock contention with a
 :class:`repro.obs.Recorder` across runtimes (simulator and/or real
@@ -111,10 +122,57 @@ def trace_main(argv: list[str]) -> int:
     return 0
 
 
+def profile_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench profile",
+        description="Run one figure under cProfile and print the hottest "
+        "functions (sorted by internal time).",
+    )
+    parser.add_argument(
+        "figure", choices=sorted(FIGURES), help="figure to profile"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced sweeps (for CI)"
+    )
+    parser.add_argument(
+        "--limit", type=int, default=25, metavar="N",
+        help="number of rows to print (default 25)",
+    )
+    parser.add_argument(
+        "--sort", default="tottime", choices=("tottime", "cumtime", "ncalls"),
+        help="pstats sort key (default tottime)",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH",
+        help="also dump raw profile stats (readable with pstats)",
+    )
+    args = parser.parse_args(argv)
+
+    import cProfile
+    import pstats
+
+    pr = cProfile.Profile()
+    t0 = time.perf_counter()
+    pr.enable()
+    result = FIGURES[args.figure](args.quick)  # profiling is always serial
+    pr.disable()
+    wall = time.perf_counter() - t0
+    print(result.format_table())
+    print(f"  [{wall:.1f}s wall under the profiler]\n")
+    stats = pstats.Stats(pr)
+    stats.sort_stats(args.sort).print_stats(args.limit)
+    if args.out:
+        stats.dump_stats(args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "profile":
+        return profile_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the MPF paper's figures on the simulated "
@@ -134,7 +192,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--plot", action="store_true", help="also render ASCII charts"
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="measure sweep points on N worker processes (default 1: "
+        "serial; output is identical either way)",
+    )
+    parser.add_argument(
+        "--timings", metavar="PATH",
+        help="write per-figure wall seconds as JSON",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     names = list(FIGURES) if "all" in args.figures else args.figures
     unknown = [n for n in names if n not in FIGURES]
@@ -142,10 +211,13 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"unknown figure(s): {', '.join(unknown)}")
 
     outputs = []
+    timings: dict[str, float] = {}
+    total0 = time.perf_counter()
     for name in names:
         t0 = time.perf_counter()
-        result = FIGURES[name](args.quick)
+        result = FIGURES[name](args.quick, args.jobs)
         wall = time.perf_counter() - t0
+        timings[name] = round(wall, 2)
         print(result.format_table())
         extras = result.format_extras()
         if extras:
@@ -159,11 +231,23 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  [{wall:.1f}s wall]")
         print()
         outputs.append(result.to_dict())
+    total = time.perf_counter() - total0
 
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(outputs, fh, indent=2)
         print(f"wrote {args.json}")
+    if args.timings:
+        payload = {
+            "jobs": args.jobs,
+            "quick": args.quick,
+            "figures": timings,
+            "total_seconds": round(total, 2),
+        }
+        with open(args.timings, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.timings}")
     return 0
 
 

@@ -6,14 +6,22 @@ simulated Balance 21000 and returns a
 comparable to the published curve.  ``quick=True`` shrinks the sweeps
 for CI; the full sweeps are what EXPERIMENTS.md records.
 
+Every sweep goes through :func:`~repro.bench.harness.run_series` with a
+*module-level* point function (bound with :func:`functools.partial`), so
+``jobs > 1`` can farm points out to a process pool: each point is an
+independent deterministic simulation, and the harness reassembles results
+in sweep order, making parallel output byte-identical to serial.
+
 Run from the command line::
 
-    python -m repro.bench fig3          # one figure
-    python -m repro.bench all --quick   # everything, reduced sweeps
+    python -m repro.bench fig3            # one figure
+    python -m repro.bench all --jobs 4    # everything, 4 point-runner processes
+    python -m repro.bench all --quick     # everything, reduced sweeps
 """
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable
 
 from ..apps.gauss_jordan import gj_speedup
@@ -26,7 +34,7 @@ from ..ext.sync_channel import SyncChannels
 from ..machine.balance import BALANCE_21000
 from ..obs import Recorder
 from ..runtime.sim import SimRuntime
-from .harness import SweepResult
+from .harness import SweepResult, run_series
 from .workloads import (
     base_throughput,
     broadcast_throughput,
@@ -54,7 +62,51 @@ __all__ = [
 ]
 
 
-def fig3(quick: bool = False) -> SweepResult:
+# ---------------------------------------------------------------------------
+# Point functions.  Module-level (hence picklable) measurements of one
+# sweep point each; ``run_series`` binds the sweep constants with
+# ``functools.partial`` and maps them over the swept parameter.
+# ---------------------------------------------------------------------------
+
+
+def _fig3_point(msgs: int, length: int) -> tuple[float, dict]:
+    m = base_throughput(length, messages=msgs)
+    return m.throughput, {}
+
+
+def _receiver_point(fn, length: int, msgs: int, contention: bool,
+                    n: int) -> tuple[float, dict]:
+    extra = {}
+    rec = None
+    if contention:
+        # Counters only (limit=0 skips span recording); the circuit-lock
+        # aggregate becomes the row's extras.
+        rec = Recorder(limit=0)
+    m = fn(n, length, messages=msgs, recorder=rec)
+    if rec is not None:
+        agg = rec.circuit_lock_stats()
+        extra = {
+            "lnvc_wait_ms": round(1e3 * agg.wait_seconds, 3),
+            "lnvc_contended": agg.contended,
+            "lnvc_acquires": agg.acquires,
+        }
+    return m.throughput, extra
+
+
+def _fig6_point(msgs: int, length: int, p: int) -> tuple[float, dict]:
+    m = random_throughput(p, length, messages=msgs)
+    return m.throughput, {"faults": m.run.report.page_faults}
+
+
+def _fig7_point(n: int, p: int) -> tuple[float, dict]:
+    return gj_speedup(n, p), {}
+
+
+def _fig8_point(m: int, iters: int, n: int) -> tuple[float, dict]:
+    return sor_per_iteration_speedup(m, n, iterations=iters), {}
+
+
+def fig3(quick: bool = False, jobs: int = 1) -> SweepResult:
     """Figure 3: base benchmark, loop-back throughput vs message length."""
     result = SweepResult(
         "Figure 3", "Base benchmark: throughput vs. message length",
@@ -62,15 +114,12 @@ def fig3(quick: bool = False) -> SweepResult:
     )
     lengths = (64, 256, 1024, 2048) if quick else (16, 64, 128, 256, 512, 768, 1024, 1536, 2048)
     msgs = 24 if quick else 64
-    series = result.new_series("base")
-    for length in lengths:
-        m = base_throughput(length, messages=msgs)
-        series.add(length, m.throughput)
+    run_series(result, "base", lengths, partial(_fig3_point, msgs), jobs=jobs)
     result.note("paper: rises toward a ~22-25 KB/s asymptote; memory/copy bound")
     return result
 
 
-def _receiver_sweep(kind: str, fn, quick: bool,
+def _receiver_sweep(kind: str, fn, quick: bool, jobs: int,
                     contention: bool = False) -> SweepResult:
     result = SweepResult(
         "Figure 4" if kind == "fcfs" else "Figure 5",
@@ -80,29 +129,18 @@ def _receiver_sweep(kind: str, fn, quick: bool,
     counts = (1, 4, 8, 16) if quick else (1, 2, 4, 6, 8, 10, 12, 14, 16)
     msgs = 32 if quick else 96
     for length in (16, 128, 1024):
-        series = result.new_series(f"{length}B")
-        for n in counts:
-            extra = {}
-            rec = None
-            if contention:
-                # Counters only (limit=0 skips span recording); the
-                # circuit-lock aggregate becomes the row's extras.
-                rec = Recorder(limit=0)
-            m = fn(n, length, messages=msgs, recorder=rec)
-            if rec is not None:
-                agg = rec.circuit_lock_stats()
-                extra = {
-                    "lnvc_wait_ms": round(1e3 * agg.wait_seconds, 3),
-                    "lnvc_contended": agg.contended,
-                    "lnvc_acquires": agg.acquires,
-                }
-            series.add(n, m.throughput, **extra)
+        run_series(
+            result, f"{length}B", counts,
+            partial(_receiver_point, fn, length, msgs, contention),
+            jobs=jobs,
+        )
     return result
 
 
-def fig4(quick: bool = False) -> SweepResult:
+def fig4(quick: bool = False, jobs: int = 1) -> SweepResult:
     """Figure 4: one sender, N FCFS receivers."""
-    result = _receiver_sweep("fcfs", fcfs_throughput, quick, contention=True)
+    result = _receiver_sweep("fcfs", fcfs_throughput, quick, jobs,
+                             contention=True)
     result.note("paper: 1024B roughly flat ~40-50 KB/s; small messages decline "
                 "with receivers (LNVC lock contention)")
     result.note("extras per point: lnvc_wait_ms (total simulated ms spent "
@@ -110,9 +148,9 @@ def fig4(quick: bool = False) -> SweepResult:
     return result
 
 
-def fig5(quick: bool = False) -> SweepResult:
+def fig5(quick: bool = False, jobs: int = 1) -> SweepResult:
     """Figure 5: one sender, N BROADCAST receivers."""
-    result = _receiver_sweep("broadcast", broadcast_throughput, quick)
+    result = _receiver_sweep("broadcast", broadcast_throughput, quick, jobs)
     result.note("paper: near-linear scaling; 687,245 B/s at 16 receivers x 1024B "
                 "(concurrent receive copies)")
     return result
@@ -162,6 +200,8 @@ def fig4_contention(quick: bool = False,
     :class:`repro.obs.Recorder` on each requested runtime and reports the
     per-message LNVC lock wait.  The returned result carries a
     ``recorders`` dict keyed ``(runtime, n)`` for exporting full traces.
+    Always serial: it keeps whole Recorder objects (not picklable cheap)
+    and itself spawns a process runtime.
     """
     return _contention_sweep("Figure 4 (contention)", "fcfs",
                              fcfs_throughput, quick, runtimes, length=16)
@@ -174,7 +214,7 @@ def fig5_contention(quick: bool = False,
                              broadcast_throughput, quick, runtimes, length=16)
 
 
-def fig6(quick: bool = False) -> SweepResult:
+def fig6(quick: bool = False, jobs: int = 1) -> SweepResult:
     """Figure 6: fully connected random traffic, throughput vs processes."""
     result = SweepResult(
         "Figure 6", "Random benchmark: throughput vs. processes",
@@ -184,17 +224,14 @@ def fig6(quick: bool = False) -> SweepResult:
     msgs = 16 if quick else 40
     lengths = (8, 256, 1024) if quick else (1, 8, 64, 256, 1024)
     for length in lengths:
-        series = result.new_series(f"{length}B")
-        for p in procs:
-            m = random_throughput(p, length, messages=msgs)
-            series.add(p, m.throughput,
-                       faults=m.run.report.page_faults)
+        run_series(result, f"{length}B", procs,
+                   partial(_fig6_point, msgs, length), jobs=jobs)
     result.note("paper: grows with processes at decreasing slope; 1024B bends "
                 "down past ~10 processes (paging), 256B only near 20")
     return result
 
 
-def fig7(quick: bool = False) -> SweepResult:
+def fig7(quick: bool = False, jobs: int = 1) -> SweepResult:
     """Figure 7: Gauss-Jordan speedup vs worker processes."""
     result = SweepResult(
         "Figure 7", "Gauss-Jordan with partial pivoting: speedup vs. processes",
@@ -203,15 +240,14 @@ def fig7(quick: bool = False) -> SweepResult:
     procs = (1, 4, 8, 16) if quick else (1, 2, 4, 8, 12, 16)
     sizes = (32, 96) if quick else (32, 48, 64, 96)
     for n in sizes:
-        series = result.new_series(f"{n}x{n}")
-        for p in procs:
-            series.add(p, gj_speedup(n, p))
+        run_series(result, f"{n}x{n}", procs, partial(_fig7_point, n),
+                   jobs=jobs)
     result.note("paper: larger matrices give higher speedup; small matrices "
                 "peak early then decline (communication dominates)")
     return result
 
 
-def fig8(quick: bool = False) -> SweepResult:
+def fig8(quick: bool = False, jobs: int = 1) -> SweepResult:
     """Figure 8: SOR per-iteration speedup vs processor-grid dimension."""
     result = SweepResult(
         "Figure 8", "SOR Poisson solver: per-iteration speedup vs. dimension N",
@@ -221,9 +257,8 @@ def fig8(quick: bool = False) -> SweepResult:
     grids = (17, 65) if quick else (9, 17, 33, 65)
     iters = 4 if quick else 6
     for m in grids:
-        series = result.new_series(f"{m}x{m}")
-        for n in dims:
-            series.add(n, sor_per_iteration_speedup(m, n, iterations=iters))
+        run_series(result, f"{m}x{m}", dims, partial(_fig8_point, m, iters),
+                   jobs=jobs)
     result.note("paper: speedups relative to the smallest parallel solver "
                 "(4 processes); large grids gain, 9x9 loses")
     return result
@@ -238,7 +273,51 @@ def _pair_time(make_workers, cfg) -> float:
     return SimRuntime().run(make_workers(), cfg=cfg).elapsed
 
 
-def ablation_sync(quick: bool = False) -> SweepResult:
+def _ablation_sync_lnvc_point(reps: int, length: int) -> tuple[float, dict]:
+    payload = b"x" * length
+
+    def lnvc_pair():
+        def sender(env):
+            cid = yield from env.open_send("c")
+            for _ in range(reps):
+                yield from env.message_send(cid, payload)
+
+        def receiver(env):
+            cid = yield from env.open_receive("c", FCFS)
+            for _ in range(reps):
+                yield from env.message_receive(cid)
+
+        return [sender, receiver]
+
+    t = _pair_time(lnvc_pair, MPFConfig(max_lnvcs=4, max_processes=2))
+    return 1e6 * t / reps, {}
+
+
+def _ablation_sync_chan_point(reps: int, length: int) -> tuple[float, dict]:
+    payload = b"x" * length
+
+    def sync_pair():
+        def sender(env):
+            ch = SyncChannels(env.view, 1, 2 * length)
+            for _ in range(reps):
+                yield from ch.send(0, env.rank, payload)
+
+        def receiver(env):
+            ch = SyncChannels(env.view, 1, 2 * length)
+            for _ in range(reps):
+                yield from ch.receive(0, env.rank)
+
+        return [sender, receiver]
+
+    t = _pair_time(
+        sync_pair,
+        MPFConfig(max_lnvcs=4, max_processes=2, ext_slots=1,
+                  ext_bytes=SyncChannels.bytes_needed(1, 2 * length)),
+    )
+    return 1e6 * t / reps, {}
+
+
+def ablation_sync(quick: bool = False, jobs: int = 1) -> SweepResult:
     """§5 ablation: general LNVC vs synchronous direct-transfer channel.
 
     Per-message transfer time as a function of message length, one
@@ -252,51 +331,60 @@ def ablation_sync(quick: bool = False) -> SweepResult:
     )
     lengths = (16, 256, 2048) if quick else (16, 64, 256, 1024, 2048)
     reps = 8 if quick else 16
-    lnvc = result.new_series("LNVC (async, double copy)")
-    sync = result.new_series("sync channel (rendezvous, direct)")
-    for length in lengths:
-        payload = b"x" * length
-
-        def lnvc_pair():
-            def sender(env):
-                cid = yield from env.open_send("c")
-                for _ in range(reps):
-                    yield from env.message_send(cid, payload)
-
-            def receiver(env):
-                cid = yield from env.open_receive("c", FCFS)
-                for _ in range(reps):
-                    yield from env.message_receive(cid)
-
-            return [sender, receiver]
-
-        def sync_pair():
-            def sender(env):
-                ch = SyncChannels(env.view, 1, 2 * length)
-                for _ in range(reps):
-                    yield from ch.send(0, env.rank, payload)
-
-            def receiver(env):
-                ch = SyncChannels(env.view, 1, 2 * length)
-                for _ in range(reps):
-                    yield from ch.receive(0, env.rank)
-
-            return [sender, receiver]
-
-        t1 = _pair_time(lnvc_pair, MPFConfig(max_lnvcs=4, max_processes=2))
-        t2 = _pair_time(
-            sync_pair,
-            MPFConfig(max_lnvcs=4, max_processes=2, ext_slots=1,
-                      ext_bytes=SyncChannels.bytes_needed(1, 2 * length)),
-        )
-        lnvc.add(length, 1e6 * t1 / reps)
-        sync.add(length, 1e6 * t2 / reps)
+    run_series(result, "LNVC (async, double copy)", lengths,
+               partial(_ablation_sync_lnvc_point, reps), jobs=jobs)
+    run_series(result, "sync channel (rendezvous, direct)", lengths,
+               partial(_ablation_sync_chan_point, reps), jobs=jobs)
     result.note("the gap grows with length: per-10-byte-block costs vs one "
                 "contiguous copy")
     return result
 
 
-def ablation_o2o(quick: bool = False) -> SweepResult:
+def _ablation_o2o_lnvc_point(reps: int, length: int) -> tuple[float, dict]:
+    payload = b"x" * length
+
+    def lnvc_pair():
+        def sender(env):
+            cid = yield from env.open_send("c")
+            for _ in range(reps):
+                yield from env.message_send(cid, payload)
+
+        def receiver(env):
+            cid = yield from env.open_receive("c", FCFS)
+            for _ in range(reps):
+                yield from env.message_receive(cid)
+
+        return [sender, receiver]
+
+    t = _pair_time(lnvc_pair, MPFConfig(max_lnvcs=4, max_processes=2))
+    return 1e6 * t / reps, {}
+
+
+def _ablation_o2o_ring_point(reps: int, length: int) -> tuple[float, dict]:
+    payload = b"x" * length
+
+    def ring_pair():
+        def producer(env):
+            r = O2ORing(env.view, 0, capacity=16, slot_bytes=64)
+            for _ in range(reps):
+                yield from r.send(payload)
+
+        def consumer(env):
+            r = O2ORing(env.view, 0, capacity=16, slot_bytes=64)
+            for _ in range(reps):
+                yield from r.receive()
+
+        return [producer, consumer]
+
+    t = _pair_time(
+        ring_pair,
+        MPFConfig(max_lnvcs=4, max_processes=2,
+                  ext_bytes=O2ORing.bytes_needed(16, 64)),
+    )
+    return 1e6 * t / reps, {}
+
+
+def ablation_o2o(quick: bool = False, jobs: int = 1) -> SweepResult:
     """§5 ablation: general LNVC vs lock-free one-to-one ring."""
     result = SweepResult(
         "Ablation B", "General LNVC vs. lock-free 1:1 ring: time per message",
@@ -304,51 +392,32 @@ def ablation_o2o(quick: bool = False) -> SweepResult:
     )
     lengths = (16, 64) if quick else (4, 16, 48, 64)
     reps = 12 if quick else 32
-    lnvc = result.new_series("LNVC (locks + blocks + allocator)")
-    ring = result.new_series("O2O ring (lock-free)")
-    for length in lengths:
-        payload = b"x" * length
-
-        def lnvc_pair():
-            def sender(env):
-                cid = yield from env.open_send("c")
-                for _ in range(reps):
-                    yield from env.message_send(cid, payload)
-
-            def receiver(env):
-                cid = yield from env.open_receive("c", FCFS)
-                for _ in range(reps):
-                    yield from env.message_receive(cid)
-
-            return [sender, receiver]
-
-        def ring_pair():
-            def producer(env):
-                r = O2ORing(env.view, 0, capacity=16, slot_bytes=64)
-                for _ in range(reps):
-                    yield from r.send(payload)
-
-            def consumer(env):
-                r = O2ORing(env.view, 0, capacity=16, slot_bytes=64)
-                for _ in range(reps):
-                    yield from r.receive()
-
-            return [producer, consumer]
-
-        t1 = _pair_time(lnvc_pair, MPFConfig(max_lnvcs=4, max_processes=2))
-        t2 = _pair_time(
-            ring_pair,
-            MPFConfig(max_lnvcs=4, max_processes=2,
-                      ext_bytes=O2ORing.bytes_needed(16, 64)),
-        )
-        lnvc.add(length, 1e6 * t1 / reps)
-        ring.add(length, 1e6 * t2 / reps)
+    run_series(result, "LNVC (locks + blocks + allocator)", lengths,
+               partial(_ablation_o2o_lnvc_point, reps), jobs=jobs)
+    run_series(result, "O2O ring (lock-free)", lengths,
+               partial(_ablation_o2o_ring_point, reps), jobs=jobs)
     result.note('"if only one-to-one communication is implemented, all '
                 'locking associated with message handling is removed"')
     return result
 
 
-def ablation_block(quick: bool = False) -> SweepResult:
+def _ablation_block_point(msgs: int, bs: int) -> tuple[float, dict]:
+    def worker(env):
+        sid = yield from env.open_send("loop")
+        rid = yield from env.open_receive("loop", FCFS)
+        t0 = env.now()
+        for _ in range(msgs):
+            yield from env.message_send(sid, b"x" * 1024)
+            yield from env.message_receive(rid)
+        return env.now() - t0
+
+    cfg = MPFConfig(max_lnvcs=4, max_processes=2, block_size=bs,
+                    max_messages=8, message_pool_bytes=1 << 18)
+    run = SimRuntime().run([worker], cfg=cfg)
+    return msgs * 1024 / run.results["p0"], {}
+
+
+def ablation_block(quick: bool = False, jobs: int = 1) -> SweepResult:
     """Design ablation: message block size (the paper fixed 10 bytes).
 
     Base-benchmark throughput at 1024-byte messages as the block size
@@ -361,30 +430,24 @@ def ablation_block(quick: bool = False) -> SweepResult:
     )
     sizes = (10, 64, 256) if quick else (4, 10, 32, 64, 128, 256)
     msgs = 24 if quick else 48
-    series = result.new_series("base @1024B")
-    for bs in sizes:
-        from ..core.protocol import FCFS as _FCFS
-
-        def worker(env):
-            sid = yield from env.open_send("loop")
-            rid = yield from env.open_receive("loop", _FCFS)
-            t0 = env.now()
-            for _ in range(msgs):
-                yield from env.message_send(sid, b"x" * 1024)
-                yield from env.message_receive(rid)
-            return env.now() - t0
-
-        cfg = MPFConfig(max_lnvcs=4, max_processes=2, block_size=bs,
-                        max_messages=8, message_pool_bytes=1 << 18)
-        run = SimRuntime().run([worker], cfg=cfg)
-        series.add(bs, msgs * 1024 / run.results["p0"])
+    run_series(result, "base @1024B", sizes, partial(_ablation_block_point, msgs),
+               jobs=jobs)
     result.note("10-byte blocks (the paper's choice) sit far below the "
                 "large-block ceiling; generality of tiny messages traded "
                 "against bulk throughput")
     return result
 
 
-def ablation_paging(quick: bool = False) -> SweepResult:
+def _ablation_paging_point(msgs: int, paging: bool, p: int) -> tuple[float, dict]:
+    if paging:
+        m = random_throughput(p, 1024, messages=msgs)
+        return m.throughput, {"faults": m.run.report.page_faults}
+    m = random_throughput(p, 1024, messages=msgs,
+                          machine=BALANCE_21000.without_paging())
+    return m.throughput, {}
+
+
+def ablation_paging(quick: bool = False, jobs: int = 1) -> SweepResult:
     """Model ablation: Figure 6's random benchmark with paging disabled.
 
     Separates queueing/lock contention from virtual-memory overhead —
@@ -397,20 +460,25 @@ def ablation_paging(quick: bool = False) -> SweepResult:
     )
     procs = (2, 10, 20) if quick else (2, 6, 10, 14, 17, 20)
     msgs = 16 if quick else 32
-    with_vm = result.new_series("paging on (Balance 21000)")
-    without = result.new_series("paging off")
-    for p in procs:
-        m1 = random_throughput(p, 1024, messages=msgs)
-        m2 = random_throughput(p, 1024, messages=msgs,
-                               machine=BALANCE_21000.without_paging())
-        with_vm.add(p, m1.throughput, faults=m1.run.report.page_faults)
-        without.add(p, m2.throughput)
+    run_series(result, "paging on (Balance 21000)", procs,
+               partial(_ablation_paging_point, msgs, True), jobs=jobs)
+    run_series(result, "paging off", procs,
+               partial(_ablation_paging_point, msgs, False), jobs=jobs)
     result.note("the gap between the curves is exactly the simulated VM "
                 "overhead; without paging throughput keeps growing")
     return result
 
 
-def ablation_cache(quick: bool = False) -> SweepResult:
+def _ablation_cache_point(msgs: int, cache_on: bool, n: int) -> tuple[float, dict]:
+    if cache_on:
+        m = broadcast_throughput(n, 1024, messages=msgs)
+        return m.throughput, {"stalls": m.run.report.cache_stalled_blocks}
+    m = broadcast_throughput(n, 1024, messages=msgs,
+                             machine=BALANCE_21000.without_cache())
+    return m.throughput, {}
+
+
+def ablation_cache(quick: bool = False, jobs: int = 1) -> SweepResult:
     """Model ablation: the write-through cache's read-miss stalls.
 
     The broadcast benchmark cycles the deepest block working sets, so it
@@ -424,22 +492,23 @@ def ablation_cache(quick: bool = False) -> SweepResult:
     )
     counts = (4, 16) if quick else (1, 4, 8, 16)
     msgs = 24 if quick else 64
-    on = result.new_series("cache model on")
-    off = result.new_series("cache model off")
-    for n in counts:
-        m1 = broadcast_throughput(n, 1024, messages=msgs)
-        m2 = broadcast_throughput(
-            n, 1024, messages=msgs, machine=BALANCE_21000.without_cache()
-        )
-        on.add(n, m1.throughput,
-               stalls=m1.run.report.cache_stalled_blocks)
-        off.add(n, m2.throughput)
+    run_series(result, "cache model on", counts,
+               partial(_ablation_cache_point, msgs, True), jobs=jobs)
+    run_series(result, "cache model off", counts,
+               partial(_ablation_cache_point, msgs, False), jobs=jobs)
     result.note("a few percent at most: MPF is software-cost bound, not "
                 "cache bound — matching the paper's silence about caches")
     return result
 
 
-def study_paradigm(quick: bool = False) -> SweepResult:
+def _paradigm_point(kernel: str, size: int, p: int) -> tuple[float, dict]:
+    from ..apps.paradigm import paradigm_penalty
+
+    mp_t, shm_t, penalty = paradigm_penalty(kernel, size, p)
+    return penalty, {"mp_seconds": mp_t, "shm_seconds": shm_t}
+
+
+def study_paradigm(quick: bool = False, jobs: int = 1) -> SweepResult:
     """The §5 research question, measured: message passing vs shared
     memory on the same kernels.
 
@@ -448,8 +517,6 @@ def study_paradigm(quick: bool = False) -> SweepResult:
     and 1-D Jacobi kernels.  Values above 1 are the cost of the
     cross-paradigm port the introduction warns about.
     """
-    from ..apps.paradigm import paradigm_penalty
-
     result = SweepResult(
         "Study P", "Cross-paradigm penalty: message passing / shared memory",
         "processes", "time ratio (MP / SHM, simulated)",
@@ -457,17 +524,16 @@ def study_paradigm(quick: bool = False) -> SweepResult:
     procs = (2, 4) if quick else (1, 2, 4, 8)
     sizes = {"sum": 64 if quick else 256, "jacobi": 64 if quick else 256}
     for kernel in ("sum", "jacobi"):
-        series = result.new_series(f"{kernel} (n={sizes[kernel]})")
-        for p in procs:
-            mp_t, shm_t, penalty = paradigm_penalty(kernel, sizes[kernel], p)
-            series.add(p, penalty, mp_seconds=mp_t, shm_seconds=shm_t)
+        run_series(result, f"{kernel} (n={sizes[kernel]})", procs,
+                   partial(_paradigm_point, kernel, sizes[kernel]), jobs=jobs)
     result.note('paper §1: "this adaptation may incur a substantial '
                 'performance penalty" — quantified')
     return result
 
 
-#: Registry used by ``python -m repro.bench``.
-FIGURES: dict[str, Callable[[bool], SweepResult]] = {
+#: Registry used by ``python -m repro.bench``.  Every entry accepts
+#: ``(quick=False, jobs=1)``.
+FIGURES: dict[str, Callable[..., SweepResult]] = {
     "fig3": fig3,
     "fig4": fig4,
     "fig5": fig5,
@@ -483,7 +549,8 @@ FIGURES: dict[str, Callable[[bool], SweepResult]] = {
 }
 
 #: Registry used by ``python -m repro.bench trace <fig>``: figures whose
-#: mechanism can be profiled with a Recorder across runtimes.
+#: mechanism can be profiled with a Recorder across runtimes.  These stay
+#: serial (they keep live Recorder objects and spawn process runtimes).
 CONTENTION: dict[str, Callable[..., SweepResult]] = {
     "fig4": fig4_contention,
     "fig5": fig5_contention,

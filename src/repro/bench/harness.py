@@ -13,7 +13,14 @@ import json
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
-__all__ = ["BenchPoint", "Series", "SweepResult", "run_series", "format_rate"]
+__all__ = [
+    "BenchPoint",
+    "Series",
+    "SweepResult",
+    "run_series",
+    "format_rate",
+    "shutdown_pool",
+]
 
 
 @dataclass(frozen=True)
@@ -173,18 +180,58 @@ def format_rate(y: float) -> str:
     return f"{y:,.0f}"
 
 
+# One process pool shared by every series of a bench invocation, created
+# lazily on the first ``jobs > 1`` sweep.  Worker startup costs ~100 ms;
+# paying it once per run instead of once per series keeps small sweeps
+# worth parallelizing.
+_POOL = None
+_POOL_JOBS = 0
+
+
+def _pool(jobs: int):
+    global _POOL, _POOL_JOBS
+    if _POOL is None or _POOL_JOBS != jobs:
+        shutdown_pool()
+        from concurrent.futures import ProcessPoolExecutor
+
+        _POOL = ProcessPoolExecutor(max_workers=jobs)
+        _POOL_JOBS = jobs
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared measurement pool (idempotent)."""
+    global _POOL, _POOL_JOBS
+    if _POOL is not None:
+        _POOL.shutdown()
+        _POOL = None
+        _POOL_JOBS = 0
+
+
 def run_series(
     result: SweepResult,
     label: str,
     xs: Iterable[float],
     measure: Callable[[float], tuple[float, dict]],
+    jobs: int = 1,
 ) -> Series:
     """Measure ``xs`` points into a new series of ``result``.
 
-    ``measure(x)`` returns ``(y, extras)``.
+    ``measure(x)`` returns ``(y, extras)``.  With ``jobs > 1`` the points
+    are measured concurrently in a process pool (``measure`` must then be
+    picklable: a module-level function or a ``functools.partial`` over
+    one).  Results are reassembled in sweep order, so the produced series
+    — tables, archives, EXPERIMENTS.md — is identical to a serial run no
+    matter how the points interleave; each point is its own deterministic
+    simulation, so the values themselves cannot differ.
     """
     series = result.new_series(label)
-    for x in xs:
-        y, extra = measure(x)
-        series.add(x, y, **extra)
+    xs = list(xs)
+    if jobs > 1 and len(xs) > 1:
+        for x, (y, extra) in zip(xs, _pool(jobs).map(measure, xs)):
+            series.add(x, y, **extra)
+    else:
+        for x in xs:
+            y, extra = measure(x)
+            series.add(x, y, **extra)
     return series

@@ -35,7 +35,7 @@ from dataclasses import dataclass
 
 from .work import Work
 
-__all__ = ["Acquire", "Release", "Charge", "WaitOn", "Wake", "Effect"]
+__all__ = ["Acquire", "Release", "Charge", "ChargeMany", "WaitOn", "Wake", "Effect"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -57,6 +57,29 @@ class Charge:
     """Account for ``work`` units of machine activity."""
 
     work: Work
+
+
+@dataclass(frozen=True, slots=True)
+class ChargeMany:
+    """Account for several adjacent pieces of work in one effect.
+
+    Semantically equivalent to yielding one :class:`Charge` per element
+    of ``works`` back to back, but costs a single scheduler round-trip —
+    the fast path for hot sections that interleave application compute
+    with a primitive's fixed cost (e.g. a poll loop's backoff charge
+    followed by ``check_receive``'s entry charge).
+
+    Each part keeps its own :class:`~repro.core.work.Work` label, so
+    per-label accounting (Tracer tables, Recorder charge splits) is
+    unchanged.  Restriction: parts must be instruction/flop-only work
+    (no ``copy_bytes``/``blocks``/``page_bytes``), because those feed
+    stateful bus/cache/VM models whose inputs may move between two
+    separate charge events; pure compute prices identically either way
+    as long as the run is not oversubscribed (more runnable processes
+    than simulated CPUs) — which none of the paper's workloads are.
+    """
+
+    works: tuple[Work, ...]
 
 
 @dataclass(frozen=True, slots=True)
@@ -87,4 +110,4 @@ class Wake:
     chan: int
 
 
-Effect = Acquire | Release | Charge | WaitOn | Wake
+Effect = Acquire | Release | Charge | ChargeMany | WaitOn | Wake

@@ -32,7 +32,7 @@ from __future__ import annotations
 from typing import Generator, Iterable
 
 from .costmodel import DEFAULT_COSTS, Costs
-from .effects import Acquire, Charge, Effect, Release, WaitOn, Wake
+from .effects import Acquire, Charge, ChargeMany, Effect, Release, WaitOn, Wake
 from .errors import (
     BufferOverflowError,
     DuplicateConnectionError,
@@ -81,6 +81,67 @@ OpGen = Generator[Effect, None, object]
 SLOT_BITS = 10
 _SLOT_MASK = (1 << SLOT_BITS) - 1
 
+# Field offsets resolved once at import time.  The hot primitives
+# (message_send / message_receive / check_receive and their helpers) run
+# millions of times per figure sweep; going through ``Record.get``'s dict
+# lookup and bound-method call was about a third of interpreter time in
+# profiles.  The hot paths below read fields as ``r.u32(base + _L_X)`` —
+# the same pointer-plus-field-offset arithmetic, with the offset folded
+# to a constant exactly as a C compiler folds ``lnvc->fifo_head``.  Cold
+# paths (open/close) keep the self-describing Record accessors.
+_L_IN_USE = LNVC.offsets["in_use"]
+_L_GEN = LNVC.offsets["gen"]
+_L_NMSGS = LNVC.offsets["nmsgs"]
+_L_FIFO_HEAD = LNVC.offsets["fifo_head"]
+_L_FIFO_TAIL = LNVC.offsets["fifo_tail"]
+_L_FCFS_HEAD = LNVC.offsets["fcfs_head"]
+_L_SEND_LIST = LNVC.offsets["send_list"]
+_L_RECV_LIST = LNVC.offsets["recv_list"]
+_L_N_FCFS = LNVC.offsets["n_fcfs"]
+_L_N_BCAST = LNVC.offsets["n_bcast"]
+_L_SEQ = LNVC.offsets["seq"]
+_L_HWM_NMSGS = LNVC.offsets["hwm_nmsgs"]
+_L_CONN_EPOCH = LNVC.offsets["conn_epoch"]
+
+_S_PID = SEND.offsets["pid"]
+_S_NEXT = SEND.offsets["next"]
+
+_R_PID = RECV.offsets["pid"]
+_R_PROTO = RECV.offsets["proto"]
+_R_HEAD = RECV.offsets["head"]
+_R_NEXT = RECV.offsets["next"]
+_R_NREADS = RECV.offsets["nreads"]
+
+_M_LENGTH = MSG.offsets["length"]
+_M_NBLOCKS = MSG.offsets["nblocks"]
+_M_FIRST_BLK = MSG.offsets["first_blk"]
+_M_NEXT_MSG = MSG.offsets["next_msg"]
+_M_BCAST_PENDING = MSG.offsets["bcast_pending"]
+_M_BUSY = MSG.offsets["busy"]
+_M_FLAGS = MSG.offsets["flags"]
+_M_SEQNO = MSG.offsets["seqno"]
+_M_SENDER = MSG.offsets["sender"]
+
+_H_FREE_MSG = HDR.u32["free_msg"]
+_H_FREE_BLK = HDR.u32["free_blk"]
+_H_LIVE_MSGS = HDR.u32["live_msgs"]
+_H_LIVE_BLOCKS = HDR.u32["live_blocks"]
+_H_LIVE_BYTES = HDR.u32["live_bytes"]
+_H_TOTAL_SENDS = HDR.u64["total_sends"]
+_H_TOTAL_RECEIVES = HDR.u64["total_receives"]
+_H_TOTAL_BYTES_SENT = HDR.u64["total_bytes_sent"]
+_H_TOTAL_BYTES_RECEIVED = HDR.u64["total_bytes_received"]
+_H_HWM_LIVE_BYTES = HDR.u64["hwm_live_bytes"]
+_H_HWM_LIVE_MSGS = HDR.u64["hwm_live_msgs"]
+
+# Enum values as plain ints: constructing MsgFlags/Protocol instances per
+# field read is pure overhead when only bit tests are needed.
+_P_FCFS = int(Protocol.FCFS)
+_F_RETIRED = int(MsgFlags.RETIRED)
+_F_FCFS_TAKEN = int(MsgFlags.FCFS_TAKEN)
+_F_FCFS_EXPECTED = int(MsgFlags.FCFS_EXPECTED)
+_F_HAD_RECEIVERS = int(MsgFlags.HAD_RECEIVERS)
+
 
 def encode_lnvc_id(slot: int, gen: int) -> int:
     """Pack a table slot and its generation into a public identifier."""
@@ -97,9 +158,37 @@ class MPFView:
 
     One view is shared by every process of a program (the paper's mapped
     region); it is immutable and carries no per-process state.
+
+    The view also pre-builds the effect objects the hot primitives yield
+    on every call: per-circuit ``Acquire``/``Release``/``Wake``/``WaitOn``
+    and the fixed-cost ``Charge`` effects whose work never varies.
+    Effects are frozen dataclasses, so one instance per lock/channel can
+    be yielded forever instead of allocating a fresh object per call.
     """
 
-    __slots__ = ("region", "layout", "cfg", "costs")
+    __slots__ = (
+        "region",
+        "layout",
+        "cfg",
+        "costs",
+        "_acq",
+        "_rel",
+        "_wake",
+        "_waiton",
+        "_alloc_acq",
+        "_alloc_rel",
+        "_send_fixed_work",
+        "_send_fixed",
+        "_recv_fixed",
+        "_check_fixed_work",
+        "_check_fixed",
+        "_recv_retire",
+        "_recv_wakeup",
+        "_recv_find",
+        "_check_walk",
+        "_send_cache",
+        "_recv_cache",
+    )
 
     def __init__(
         self,
@@ -111,6 +200,42 @@ class MPFView:
         self.layout = layout
         self.cfg: MPFConfig = layout.cfg
         self.costs = costs
+        n = self.cfg.max_lnvcs
+        self._acq = tuple(Acquire(FIRST_LNVC_LOCK + s) for s in range(n))
+        self._rel = tuple(Release(FIRST_LNVC_LOCK + s) for s in range(n))
+        self._wake = tuple(Wake(s) for s in range(n))
+        self._waiton = tuple(WaitOn(s, FIRST_LNVC_LOCK + s) for s in range(n))
+        self._alloc_acq = Acquire(ALLOC_LOCK)
+        self._alloc_rel = Release(ALLOC_LOCK)
+        self._send_fixed_work = Work(instrs=costs.send_fixed, label="send-fixed")
+        self._send_fixed = Charge(self._send_fixed_work)
+        self._recv_fixed = Charge(Work(instrs=costs.recv_fixed, label="recv-fixed"))
+        self._check_fixed_work = Work(instrs=costs.check_fixed, label="check-fixed")
+        self._check_fixed = Charge(self._check_fixed_work)
+        self._recv_retire = Charge(Work(instrs=costs.msg_retire, label="recv-retire"))
+        self._recv_wakeup = Charge(
+            Work(instrs=costs.waiter_wakeup, label="recv-wakeup")
+        )
+        # Small-step variable charges: descriptor lists are almost always
+        # one or two entries deep, so cache the first few step counts.
+        self._recv_find = tuple(
+            Charge(Work(instrs=k * costs.list_step, label="recv-find"))
+            for k in range(8)
+        )
+        self._check_walk = tuple(
+            Charge(Work(instrs=k * costs.list_step, label="check-walk"))
+            for k in range(8)
+        )
+        # Connection-descriptor lookup caches: (slot, pid) -> (desc_off,
+        # steps, gen, conn_epoch).  The circuit's ``conn_epoch`` field is
+        # bumped (under the circuit lock) on every send/recv list
+        # mutation, and ``gen`` changes when the slot is recycled, so an
+        # entry matching both is exactly what walking the list would find
+        # — including the walk length that feeds the cost model.  The
+        # region fields are shared, so the cache stays correct even when
+        # other views (processes) reshape the lists.
+        self._send_cache: dict = {}
+        self._recv_cache: dict = {}
 
     # -- names -------------------------------------------------------------
 
@@ -145,13 +270,14 @@ class MPFView:
 
         Caller must hold either the global lock or the slot's lock.
         """
-        slot, gen = decode_lnvc_id(lnvc_id)
+        slot = lnvc_id & _SLOT_MASK
         if slot >= self.cfg.max_lnvcs:
             raise UnknownLNVCError(f"lnvc id {lnvc_id}: no such slot")
         base = self.layout.lnvc_off(slot)
-        if not LNVC.get(self.region, base, "in_use"):
+        u32 = self.region.u32
+        if not u32(base + _L_IN_USE):
             raise UnknownLNVCError(f"lnvc id {lnvc_id}: circuit deleted")
-        if LNVC.get(self.region, base, "gen") != gen:
+        if u32(base + _L_GEN) != lnvc_id >> SLOT_BITS:
             raise UnknownLNVCError(f"lnvc id {lnvc_id}: stale generation")
         return slot
 
@@ -197,25 +323,25 @@ def _release_and_raise(locks: Iterable[int], exc: Exception) -> OpGen:
 
 def _find_send(view: MPFView, base: int, pid: int) -> tuple[int, int, int]:
     """Locate ``pid``'s send descriptor: ``(desc_off|NIL, prev_off|NIL, steps)``."""
-    r = view.region
-    prev, off, steps = NIL, LNVC.get(r, base, "send_list"), 0
+    u32 = view.region.u32
+    prev, off, steps = NIL, u32(base + _L_SEND_LIST), 0
     while off != NIL:
         steps += 1
-        if SEND.get(r, off, "pid") == pid:
+        if u32(off + _S_PID) == pid:
             return off, prev, steps
-        prev, off = off, SEND.get(r, off, "next")
+        prev, off = off, u32(off + _S_NEXT)
     return NIL, NIL, steps
 
 
 def _find_recv(view: MPFView, base: int, pid: int) -> tuple[int, int, int]:
     """Locate ``pid``'s receive descriptor: ``(desc_off|NIL, prev_off|NIL, steps)``."""
-    r = view.region
-    prev, off, steps = NIL, LNVC.get(r, base, "recv_list"), 0
+    u32 = view.region.u32
+    prev, off, steps = NIL, u32(base + _L_RECV_LIST), 0
     while off != NIL:
         steps += 1
-        if RECV.get(r, off, "pid") == pid:
+        if u32(off + _R_PID) == pid:
             return off, prev, steps
-        prev, off = off, RECV.get(r, off, "next")
+        prev, off = off, u32(off + _R_NEXT)
     return NIL, NIL, steps
 
 
@@ -239,18 +365,18 @@ def _retire_check(view: MPFView, msg: int) -> bool:
     future FCFS joiner (paper §3.2).
     """
     r = view.region
-    flags = MsgFlags(MSG.get(r, msg, "flags"))
-    if flags & MsgFlags.RETIRED:
+    flags = r.u32(msg + _M_FLAGS)
+    if flags & _F_RETIRED:
         return True
-    if MSG.get(r, msg, "bcast_pending") or MSG.get(r, msg, "busy"):
+    if r.u32(msg + _M_BCAST_PENDING) or r.u32(msg + _M_BUSY):
         return False
-    if flags & MsgFlags.FCFS_TAKEN:
+    if flags & _F_FCFS_TAKEN:
         pass
-    elif (flags & MsgFlags.HAD_RECEIVERS) and not (flags & MsgFlags.FCFS_EXPECTED):
+    elif (flags & _F_HAD_RECEIVERS) and not (flags & _F_FCFS_EXPECTED):
         pass
     else:
         return False
-    MSG.set(r, msg, "flags", flags | MsgFlags.RETIRED)
+    r.set_u32(msg + _M_FLAGS, flags | _F_RETIRED)
     return True
 
 
@@ -260,18 +386,24 @@ def _free_chain(view: MPFView, msg: int) -> int:
     Caller holds ``ALLOC_LOCK``.  Returns the number of blocks freed.
     """
     r = view.region
+    u32 = r.u32
+    set_u32 = r.set_u32
     nblk = 0
-    blk = MSG.get(r, msg, "first_blk")
+    blk = u32(msg + _M_FIRST_BLK)
+    # Inlined fl_free: push each block onto the free list head.
+    head = u32(_H_FREE_BLK)
     while blk != NIL:
-        nxt = r.u32(blk + BLK_NEXT)
-        fl_free(r, HDR.u32["free_blk"], blk)
+        nxt = u32(blk + BLK_NEXT)
+        set_u32(blk, head)
+        head = blk
         blk = nxt
         nblk += 1
-    length = MSG.get(r, msg, "length")
-    fl_free(r, HDR.u32["free_msg"], msg)
-    HDR.add(r, "live_msgs", -1)
-    HDR.add(r, "live_blocks", -nblk)
-    HDR.add(r, "live_bytes", -length)
+    set_u32(_H_FREE_BLK, head)
+    length = u32(msg + _M_LENGTH)
+    fl_free(r, _H_FREE_MSG, msg)
+    r.add_u32(_H_LIVE_MSGS, -1)
+    r.add_u32(_H_LIVE_BLOCKS, -nblk)
+    r.add_u32(_H_LIVE_BYTES, -length)
     return nblk
 
 
@@ -285,28 +417,30 @@ def _reap_head(view: MPFView, base: int) -> OpGen:
     """
     r = view.region
     c = view.costs
+    u32 = r.u32
+    set_u32 = r.set_u32
     doomed: list[int] = []
-    head = LNVC.get(r, base, "fifo_head")
-    while head != NIL and (MSG.get(r, head, "flags") & MsgFlags.RETIRED):
+    head = u32(base + _L_FIFO_HEAD)
+    while head != NIL and (u32(head + _M_FLAGS) & _F_RETIRED):
         doomed.append(head)
-        head = MSG.get(r, head, "next_msg")
+        head = u32(head + _M_NEXT_MSG)
     if not doomed:
         return 0
-    LNVC.set(r, base, "fifo_head", head)
+    set_u32(base + _L_FIFO_HEAD, head)
     if head == NIL:
-        LNVC.set(r, base, "fifo_tail", NIL)
-    LNVC.add(r, base, "nmsgs", -len(doomed))
+        set_u32(base + _L_FIFO_TAIL, NIL)
+    r.add_u32(base + _L_NMSGS, -len(doomed))
     # The shared FCFS head can never point *behind* the new physical head:
     # if it pointed at a reaped message, advance it to the first survivor
     # that is not FCFS-taken.
-    fcfs = LNVC.get(r, base, "fcfs_head")
+    fcfs = u32(base + _L_FCFS_HEAD)
     if fcfs in doomed:
-        LNVC.set(r, base, "fcfs_head", _first_untaken(view, head))
+        set_u32(base + _L_FCFS_HEAD, _first_untaken(view, head))
     nblk = 0
-    yield Acquire(ALLOC_LOCK)
+    yield view._alloc_acq
     for msg in doomed:
         nblk += _free_chain(view, msg)
-    yield Release(ALLOC_LOCK)
+    yield view._alloc_rel
     yield Charge(
         Work(instrs=len(doomed) * c.msg_discard + nblk * c.blk_free, label="reap")
     )
@@ -315,9 +449,9 @@ def _reap_head(view: MPFView, base: int) -> OpGen:
 
 def _first_untaken(view: MPFView, msg: int) -> int:
     """First message at or after ``msg`` not yet FCFS-taken (or NIL)."""
-    r = view.region
-    while msg != NIL and (MSG.get(r, msg, "flags") & MsgFlags.FCFS_TAKEN):
-        msg = MSG.get(r, msg, "next_msg")
+    u32 = view.region.u32
+    while msg != NIL and (u32(msg + _M_FLAGS) & _F_FCFS_TAKEN):
+        msg = u32(msg + _M_NEXT_MSG)
     return msg
 
 
@@ -430,6 +564,7 @@ def open_send(view: MPFView, pid: int, name: str) -> OpGen:
     SEND.set(r, desc, "next", LNVC.get(r, base, "send_list"))
     LNVC.set(r, base, "send_list", desc)
     LNVC.add(r, base, "n_senders", 1)
+    LNVC.add(r, base, "conn_epoch", 1)
     yield Charge(Work(instrs=steps * c.list_step + 4 * c.list_step, label="open_send"))
     yield Release(lock)
     yield Release(GLOBAL_LOCK)
@@ -482,6 +617,7 @@ def open_receive(view: MPFView, pid: int, name: str, protocol: Protocol) -> OpGe
     RECV.set(r, desc, "next", LNVC.get(r, base, "recv_list"))
     LNVC.set(r, base, "recv_list", desc)
     LNVC.add(r, base, "n_fcfs" if proto is Protocol.FCFS else "n_bcast", 1)
+    LNVC.add(r, base, "conn_epoch", 1)
     yield Charge(
         Work(instrs=steps * c.list_step + 4 * c.list_step, label="open_receive")
     )
@@ -517,6 +653,7 @@ def close_send(view: MPFView, pid: int, lnvc_id: int) -> OpGen:
         LNVC.set(r, base, "send_list", nxt)
     else:
         SEND.set(r, prev, "next", nxt)
+    LNVC.add(r, base, "conn_epoch", 1)
     yield Acquire(ALLOC_LOCK)
     fl_free(r, HDR.u32["free_send"], desc)
     yield Release(ALLOC_LOCK)
@@ -574,6 +711,7 @@ def close_receive(view: MPFView, pid: int, lnvc_id: int) -> OpGen:
         LNVC.set(r, base, "recv_list", nxt)
     else:
         RECV.set(r, prev, "next", nxt)
+    LNVC.add(r, base, "conn_epoch", 1)
     yield Acquire(ALLOC_LOCK)
     fl_free(r, HDR.u32["free_recv"], desc)
     yield Release(ALLOC_LOCK)
@@ -591,7 +729,13 @@ def close_receive(view: MPFView, pid: int, lnvc_id: int) -> OpGen:
     return None
 
 
-def message_send(view: MPFView, pid: int, lnvc_id: int, data: bytes) -> OpGen:
+def message_send(
+    view: MPFView,
+    pid: int,
+    lnvc_id: int,
+    data: bytes,
+    prelude: Work | None = None,
+) -> OpGen:
     """Asynchronously send ``data`` to the circuit.
 
     The payload is copied into a chain of fixed-size message blocks
@@ -602,6 +746,12 @@ def message_send(view: MPFView, pid: int, lnvc_id: int, data: bytes) -> OpGen:
     destination(s)", paper §2).  Returns the message's sequence number on
     the circuit.
 
+    ``prelude`` optionally carries compute-only application work to be
+    fused with the primitive's fixed entry charge as one
+    :class:`~repro.core.effects.ChargeMany` — semantically identical to
+    ``yield Charge(prelude)`` immediately before the call, one scheduler
+    round-trip cheaper.
+
     Raises :class:`OutOfMessageMemoryError` when the header or block pool
     is exhausted — the hard edge of the ``init()`` sizing estimate.
     """
@@ -609,51 +759,57 @@ def message_send(view: MPFView, pid: int, lnvc_id: int, data: bytes) -> OpGen:
         raise TypeError("message payload must be bytes-like")
     data = bytes(data)
     r = view.region
+    u32 = r.u32
+    set_u32 = r.set_u32
     c = view.costs
     lay = view.layout
     bs = view.cfg.block_size
     length = len(data)
     nblk = (length + bs - 1) // bs
-    yield Charge(Work(instrs=c.send_fixed, label="send-fixed"))
+    if prelude is None:
+        yield view._send_fixed
+    else:
+        yield ChargeMany((prelude, view._send_fixed_work))
 
     # Phase 1: allocation.  Blocks are private until linked, so only the
     # free lists need the allocator lock.
-    yield Acquire(ALLOC_LOCK)
-    hdr = fl_alloc(r, HDR.u32["free_msg"])
+    yield view._alloc_acq
+    hdr = fl_alloc(r, _H_FREE_MSG)
     if hdr == NIL:
         yield from _release_and_raise(
             [ALLOC_LOCK], OutOfMessageMemoryError("message header pool exhausted")
         )
+    # Pop the whole chain in one walk (the free list is only mutated on
+    # shortfall once the full count is known, so no rollback is needed).
     blocks: list[int] = []
-    for _ in range(nblk):
-        blk = fl_alloc(r, HDR.u32["free_blk"])
-        if blk == NIL:
-            for b in blocks:
-                fl_free(r, HDR.u32["free_blk"], b)
-            fl_free(r, HDR.u32["free_msg"], hdr)
-            yield from _release_and_raise(
-                [ALLOC_LOCK],
-                OutOfMessageMemoryError(
-                    f"block pool exhausted ({nblk}-block message)"
-                ),
-            )
+    blk = u32(_H_FREE_BLK)
+    while len(blocks) < nblk and blk != NIL:
         blocks.append(blk)
-    HDR.add(r, "live_msgs", 1)
-    HDR.add(r, "live_blocks", nblk)
-    live = HDR.add(r, "live_bytes", length)
-    if live > HDR.get(r, "hwm_live_bytes"):
-        HDR.set(r, "hwm_live_bytes", live)
-    live_msgs = HDR.get(r, "live_msgs")
-    if live_msgs > HDR.get(r, "hwm_live_msgs"):
-        HDR.set(r, "hwm_live_msgs", live_msgs)
+        blk = u32(blk + BLK_NEXT)
+    if len(blocks) < nblk:
+        fl_free(r, _H_FREE_MSG, hdr)
+        yield from _release_and_raise(
+            [ALLOC_LOCK],
+            OutOfMessageMemoryError(f"block pool exhausted ({nblk}-block message)"),
+        )
+    set_u32(_H_FREE_BLK, blk)
+    r.add_u32(_H_LIVE_MSGS, 1)
+    r.add_u32(_H_LIVE_BLOCKS, nblk)
+    live = r.add_u32(_H_LIVE_BYTES, length)
+    if live > r.u64(_H_HWM_LIVE_BYTES):
+        r.set_u64(_H_HWM_LIVE_BYTES, live)
+    live_msgs = u32(_H_LIVE_MSGS)
+    if live_msgs > r.u64(_H_HWM_LIVE_MSGS):
+        r.set_u64(_H_HWM_LIVE_MSGS, live_msgs)
     yield Charge(Work(instrs=(nblk + 1) * c.blk_alloc, label="send-alloc"))
-    yield Release(ALLOC_LOCK)
+    yield view._alloc_rel
 
     # Phase 2: fill the private chain — outside every lock.
+    write = r.write
+    last = nblk - 1
     for i, blk in enumerate(blocks):
-        nxt = blocks[i + 1] if i + 1 < nblk else NIL
-        r.set_u32(blk + BLK_NEXT, nxt)
-        r.write(blk + 4, data[i * bs : min((i + 1) * bs, length)])
+        set_u32(blk + BLK_NEXT, blocks[i + 1] if i < last else NIL)
+        write(blk + 4, data[i * bs : min((i + 1) * bs, length)])
     yield Charge(
         Work(
             instrs=nblk * c.blk_fill + length * c.copy_byte,
@@ -665,76 +821,88 @@ def message_send(view: MPFView, pid: int, lnvc_id: int, data: bytes) -> OpGen:
     )
 
     # Phase 3: link at the FIFO tail under the circuit lock.
-    slot, gen = decode_lnvc_id(lnvc_id)
-    lock = view.lnvc_lock(slot) if slot < view.cfg.max_lnvcs else GLOBAL_LOCK
-    yield Acquire(lock)
+    slot = lnvc_id & _SLOT_MASK
+    gen = lnvc_id >> SLOT_BITS
+    in_table = slot < view.cfg.max_lnvcs
+    lock = FIRST_LNVC_LOCK + slot if in_table else GLOBAL_LOCK
+    yield view._acq[slot] if in_table else Acquire(lock)
     try:
-        view.resolve(lnvc_id)
         base = lay.lnvc_off(slot)
-        sd, _, steps = _find_send(view, base, pid)
-        if sd == NIL:
-            raise NotConnectedError(f"pid {pid} holds no send connection here")
+        if (
+            not in_table
+            or not u32(base + _L_IN_USE)
+            or u32(base + _L_GEN) != gen
+        ):
+            view.resolve(lnvc_id)  # raises with the precise message
+        epoch = u32(base + _L_CONN_EPOCH)
+        hit = view._send_cache.get((slot, pid))
+        if hit is not None and hit[2] == gen and hit[3] == epoch:
+            steps = hit[1]
+        else:
+            sd, _, steps = _find_send(view, base, pid)
+            if sd == NIL:
+                raise NotConnectedError(
+                    f"pid {pid} holds no send connection here"
+                )
+            view._send_cache[(slot, pid)] = (sd, steps, gen, epoch)
     except (UnknownLNVCError, NotConnectedError) as exc:
         yield Release(lock)
         yield Acquire(ALLOC_LOCK)
         for b in blocks:
-            fl_free(r, HDR.u32["free_blk"], b)
-        fl_free(r, HDR.u32["free_msg"], hdr)
-        HDR.add(r, "live_msgs", -1)
-        HDR.add(r, "live_blocks", -nblk)
-        HDR.add(r, "live_bytes", -length)
+            fl_free(r, _H_FREE_BLK, b)
+        fl_free(r, _H_FREE_MSG, hdr)
+        r.add_u32(_H_LIVE_MSGS, -1)
+        r.add_u32(_H_LIVE_BLOCKS, -nblk)
+        r.add_u32(_H_LIVE_BYTES, -length)
         yield from _release_and_raise([ALLOC_LOCK], exc)
 
-    n_fcfs = LNVC.get(r, base, "n_fcfs")
-    n_bcast = LNVC.get(r, base, "n_bcast")
-    flags = MsgFlags.NONE
+    n_fcfs = u32(base + _L_N_FCFS)
+    n_bcast = u32(base + _L_N_BCAST)
+    flags = 0
     if n_fcfs:
-        flags |= MsgFlags.FCFS_EXPECTED
+        flags |= _F_FCFS_EXPECTED
     if n_fcfs or n_bcast:
-        flags |= MsgFlags.HAD_RECEIVERS
-    seqno = LNVC.get(r, base, "seq")
-    LNVC.set(r, base, "seq", seqno + 1)
-    MSG.set(r, hdr, "length", length)
-    MSG.set(r, hdr, "nblocks", nblk)
-    MSG.set(r, hdr, "first_blk", blocks[0] if blocks else NIL)
-    MSG.set(r, hdr, "next_msg", NIL)
-    MSG.set(r, hdr, "bcast_pending", n_bcast)
-    MSG.set(r, hdr, "busy", 0)
-    MSG.set(r, hdr, "flags", flags)
-    MSG.set(r, hdr, "seqno", seqno)
-    MSG.set(r, hdr, "sender", pid)
-    tail = LNVC.get(r, base, "fifo_tail")
+        flags |= _F_HAD_RECEIVERS
+    seqno = u32(base + _L_SEQ)
+    set_u32(base + _L_SEQ, seqno + 1)
+    set_u32(hdr + _M_LENGTH, length)
+    set_u32(hdr + _M_NBLOCKS, nblk)
+    set_u32(hdr + _M_FIRST_BLK, blocks[0] if blocks else NIL)
+    set_u32(hdr + _M_NEXT_MSG, NIL)
+    set_u32(hdr + _M_BCAST_PENDING, n_bcast)
+    set_u32(hdr + _M_BUSY, 0)
+    set_u32(hdr + _M_FLAGS, flags)
+    set_u32(hdr + _M_SEQNO, seqno)
+    set_u32(hdr + _M_SENDER, pid)
+    tail = u32(base + _L_FIFO_TAIL)
     if tail == NIL:
-        LNVC.set(r, base, "fifo_head", hdr)
+        set_u32(base + _L_FIFO_HEAD, hdr)
     else:
-        MSG.set(r, tail, "next_msg", hdr)
-    LNVC.set(r, base, "fifo_tail", hdr)
-    depth = LNVC.add(r, base, "nmsgs", 1)
-    if depth > LNVC.get(r, base, "hwm_nmsgs"):
-        LNVC.set(r, base, "hwm_nmsgs", depth)
-    if LNVC.get(r, base, "fcfs_head") == NIL:
-        LNVC.set(r, base, "fcfs_head", hdr)
+        set_u32(tail + _M_NEXT_MSG, hdr)
+    set_u32(base + _L_FIFO_TAIL, hdr)
+    depth = r.add_u32(base + _L_NMSGS, 1)
+    if depth > u32(base + _L_HWM_NMSGS):
+        set_u32(base + _L_HWM_NMSGS, depth)
+    if u32(base + _L_FCFS_HEAD) == NIL:
+        set_u32(base + _L_FCFS_HEAD, hdr)
     # Point every caught-up BROADCAST receiver at the new message.
     rsteps = 0
-    desc = LNVC.get(r, base, "recv_list")
+    desc = u32(base + _L_RECV_LIST)
     while desc != NIL:
         rsteps += 1
-        if (
-            Protocol(RECV.get(r, desc, "proto")) is Protocol.BROADCAST
-            and RECV.get(r, desc, "head") == NIL
-        ):
-            RECV.set(r, desc, "head", hdr)
-        desc = RECV.get(r, desc, "next")
-    HDR.add(r, "total_sends", 1)
-    HDR.add(r, "total_bytes_sent", length)
+        if u32(desc + _R_PROTO) != _P_FCFS and u32(desc + _R_HEAD) == NIL:
+            set_u32(desc + _R_HEAD, hdr)
+        desc = u32(desc + _R_NEXT)
+    r.add_u64(_H_TOTAL_SENDS, 1)
+    r.add_u64(_H_TOTAL_BYTES_SENT, length)
     yield Charge(
         Work(
             instrs=c.msg_link + (steps + rsteps) * c.list_step,
             label="send-link",
         )
     )
-    yield Release(lock)
-    yield Wake(slot)
+    yield view._rel[slot] if in_table else Release(lock)
+    yield view._wake[slot] if in_table else Wake(slot)
     return seqno
 
 
@@ -754,39 +922,59 @@ def message_receive(
     safe analogue of the C interface's caller-supplied buffer.
     """
     r = view.region
+    u32 = r.u32
+    set_u32 = r.set_u32
     c = view.costs
-    yield Charge(Work(instrs=c.recv_fixed, label="recv-fixed"))
-    slot, gen = decode_lnvc_id(lnvc_id)
-    lock = view.lnvc_lock(slot) if slot < view.cfg.max_lnvcs else GLOBAL_LOCK
-    yield Acquire(lock)
-    try:
-        view.resolve(lnvc_id)
-    except UnknownLNVCError as exc:
-        yield from _release_and_raise([lock], exc)
+    yield view._recv_fixed
+    slot = lnvc_id & _SLOT_MASK
+    gen = lnvc_id >> SLOT_BITS
+    in_table = slot < view.cfg.max_lnvcs
+    lock = FIRST_LNVC_LOCK + slot if in_table else GLOBAL_LOCK
+    yield view._acq[slot] if in_table else Acquire(lock)
+    if not in_table:
+        try:
+            view.resolve(lnvc_id)
+        except UnknownLNVCError as exc:
+            yield from _release_and_raise([lock], exc)
     base = view.layout.lnvc_off(slot)
-    desc, _, steps = _find_recv(view, base, pid)
-    if desc == NIL:
-        yield from _release_and_raise(
-            [lock], NotConnectedError(f"pid {pid} holds no receive connection here")
-        )
-    proto = Protocol(RECV.get(r, desc, "proto"))
-    yield Charge(Work(instrs=steps * c.list_step, label="recv-find"))
+    if not u32(base + _L_IN_USE) or u32(base + _L_GEN) != gen:
+        try:
+            view.resolve(lnvc_id)  # raises with the precise message
+        except UnknownLNVCError as exc:
+            yield from _release_and_raise([lock], exc)
+    epoch = u32(base + _L_CONN_EPOCH)
+    hit = view._recv_cache.get((slot, pid))
+    if hit is not None and hit[2] == gen and hit[3] == epoch:
+        desc = hit[0]
+        steps = hit[1]
+    else:
+        desc, _, steps = _find_recv(view, base, pid)
+        if desc == NIL:
+            yield from _release_and_raise(
+                [lock],
+                NotConnectedError(f"pid {pid} holds no receive connection here"),
+            )
+        view._recv_cache[(slot, pid)] = (desc, steps, gen, epoch)
+    is_fcfs = u32(desc + _R_PROTO) == _P_FCFS
+    yield view._recv_find[steps] if steps < 8 else Charge(
+        Work(instrs=steps * c.list_step, label="recv-find")
+    )
 
     msg = NIL
     while True:
-        if proto is Protocol.FCFS:
-            msg = LNVC.get(r, base, "fcfs_head")
+        if is_fcfs:
+            msg = u32(base + _L_FCFS_HEAD)
         else:
-            msg = RECV.get(r, desc, "head")
+            msg = u32(desc + _R_HEAD)
         if msg != NIL:
             break
         # Nothing available: sleep on the circuit's wait channel.  WaitOn
         # atomically releases the lock and reacquires it on wake, closing
         # the lost wake-up window.
-        yield WaitOn(slot, lock)
-        yield Charge(Work(instrs=c.waiter_wakeup, label="recv-wakeup"))
+        yield view._waiton[slot]
+        yield view._recv_wakeup
 
-    length = MSG.get(r, msg, "length")
+    length = u32(msg + _M_LENGTH)
     if max_len is not None and length > max_len:
         yield from _release_and_raise(
             [lock],
@@ -796,28 +984,29 @@ def message_receive(
         )
 
     # Claim the message under the lock, then copy outside it.
-    MSG.add(r, msg, "busy", 1)
-    if proto is Protocol.FCFS:
-        MSG.set(r, msg, "flags", MSG.get(r, msg, "flags") | MsgFlags.FCFS_TAKEN)
-        LNVC.set(
-            r, base, "fcfs_head", _first_untaken(view, MSG.get(r, msg, "next_msg"))
+    r.add_u32(msg + _M_BUSY, 1)
+    if is_fcfs:
+        set_u32(msg + _M_FLAGS, u32(msg + _M_FLAGS) | _F_FCFS_TAKEN)
+        set_u32(
+            base + _L_FCFS_HEAD, _first_untaken(view, u32(msg + _M_NEXT_MSG))
         )
     else:
-        RECV.set(r, desc, "head", MSG.get(r, msg, "next_msg"))
-    RECV.add(r, desc, "nreads", 1)
-    nblk = MSG.get(r, msg, "nblocks")
-    first = MSG.get(r, msg, "first_blk")
-    yield Release(lock)
+        set_u32(desc + _R_HEAD, u32(msg + _M_NEXT_MSG))
+    r.add_u32(desc + _R_NREADS, 1)
+    nblk = u32(msg + _M_NBLOCKS)
+    first = u32(msg + _M_FIRST_BLK)
+    yield view._rel[slot] if in_table else Release(lock)
 
     # Copy phase — concurrent with other receivers of the same message.
     bs = view.cfg.block_size
+    read = r.read
     parts: list[bytes] = []
     blk, remaining = first, length
     while blk != NIL and remaining > 0:
-        take = min(bs, remaining)
-        parts.append(r.read(blk + 4, take))
+        take = bs if remaining > bs else remaining
+        parts.append(read(blk + 4, take))
         remaining -= take
-        blk = r.u32(blk + BLK_NEXT)
+        blk = u32(blk + BLK_NEXT)
     payload = b"".join(parts)
     yield Charge(
         Work(
@@ -829,20 +1018,22 @@ def message_receive(
     )
 
     # Completion: drop the busy pin, account the read, retire and reap.
-    yield Acquire(lock)
-    MSG.add(r, msg, "busy", -1)
-    if proto is Protocol.BROADCAST:
-        MSG.add(r, msg, "bcast_pending", -1)
+    yield view._acq[slot] if in_table else Acquire(lock)
+    r.add_u32(msg + _M_BUSY, -1)
+    if not is_fcfs:
+        r.add_u32(msg + _M_BCAST_PENDING, -1)
     _retire_check(view, msg)
-    yield Charge(Work(instrs=c.msg_retire, label="recv-retire"))
+    yield view._recv_retire
     yield from _reap_head(view, base)
-    HDR.add(r, "total_receives", 1)
-    HDR.add(r, "total_bytes_received", length)
-    yield Release(lock)
+    r.add_u64(_H_TOTAL_RECEIVES, 1)
+    r.add_u64(_H_TOTAL_BYTES_RECEIVED, length)
+    yield view._rel[slot] if in_table else Release(lock)
     return payload
 
 
-def check_receive(view: MPFView, pid: int, lnvc_id: int) -> OpGen:
+def check_receive(
+    view: MPFView, pid: int, lnvc_id: int, prelude: Work | None = None
+) -> OpGen:
     """Count the messages currently available to ``pid`` on the circuit.
 
     Returns 0 when nothing is queued for this receiver.  For an FCFS
@@ -851,34 +1042,60 @@ def check_receive(view: MPFView, pid: int, lnvc_id: int) -> OpGen:
     message" (paper §2) — the count can be stale the moment the lock is
     released.  For BROADCAST the counted messages are guaranteed to be
     deliverable to this receiver.
+
+    ``prelude`` optionally carries compute-only application work to be
+    fused with the primitive's fixed entry charge as one
+    :class:`~repro.core.effects.ChargeMany` — the fast path for polling
+    loops that back off with compute between rounds (see
+    :func:`repro.patterns.select_receive`).
     """
     r = view.region
+    u32 = r.u32
     c = view.costs
-    yield Charge(Work(instrs=c.check_fixed, label="check-fixed"))
-    slot, gen = decode_lnvc_id(lnvc_id)
-    lock = view.lnvc_lock(slot) if slot < view.cfg.max_lnvcs else GLOBAL_LOCK
-    yield Acquire(lock)
-    try:
-        view.resolve(lnvc_id)
-    except UnknownLNVCError as exc:
-        yield from _release_and_raise([lock], exc)
-    base = view.layout.lnvc_off(slot)
-    desc, _, steps = _find_recv(view, base, pid)
-    if desc == NIL:
-        yield from _release_and_raise(
-            [lock], NotConnectedError(f"pid {pid} holds no receive connection here")
-        )
-    proto = Protocol(RECV.get(r, desc, "proto"))
-    if proto is Protocol.FCFS:
-        msg = LNVC.get(r, base, "fcfs_head")
+    if prelude is None:
+        yield view._check_fixed
     else:
-        msg = RECV.get(r, desc, "head")
+        yield ChargeMany((prelude, view._check_fixed_work))
+    slot = lnvc_id & _SLOT_MASK
+    gen = lnvc_id >> SLOT_BITS
+    in_table = slot < view.cfg.max_lnvcs
+    lock = FIRST_LNVC_LOCK + slot if in_table else GLOBAL_LOCK
+    yield view._acq[slot] if in_table else Acquire(lock)
+    if not in_table:
+        try:
+            view.resolve(lnvc_id)
+        except UnknownLNVCError as exc:
+            yield from _release_and_raise([lock], exc)
+    base = view.layout.lnvc_off(slot)
+    if not u32(base + _L_IN_USE) or u32(base + _L_GEN) != gen:
+        try:
+            view.resolve(lnvc_id)  # raises with the precise message
+        except UnknownLNVCError as exc:
+            yield from _release_and_raise([lock], exc)
+    epoch = u32(base + _L_CONN_EPOCH)
+    hit = view._recv_cache.get((slot, pid))
+    if hit is not None and hit[2] == gen and hit[3] == epoch:
+        desc = hit[0]
+        steps = hit[1]
+    else:
+        desc, _, steps = _find_recv(view, base, pid)
+        if desc == NIL:
+            yield from _release_and_raise(
+                [lock],
+                NotConnectedError(f"pid {pid} holds no receive connection here"),
+            )
+        view._recv_cache[(slot, pid)] = (desc, steps, gen, epoch)
+    if u32(desc + _R_PROTO) == _P_FCFS:
+        msg = u32(base + _L_FCFS_HEAD)
+    else:
+        msg = u32(desc + _R_HEAD)
     count = 0
     while msg != NIL:
         count += 1
-        msg = MSG.get(r, msg, "next_msg")
-    yield Charge(
-        Work(instrs=(steps + count) * c.list_step, label="check-walk")
+        msg = u32(msg + _M_NEXT_MSG)
+    walked = steps + count
+    yield view._check_walk[walked] if walked < 8 else Charge(
+        Work(instrs=walked * c.list_step, label="check-walk")
     )
-    yield Release(lock)
+    yield view._rel[slot] if in_table else Release(lock)
     return count

@@ -39,23 +39,33 @@ class SharedRegion:
         length (``bytearray``, ``memoryview``, ``mmap``, shared memory).
     """
 
-    __slots__ = ("_mv", "size")
+    __slots__ = ("_mv", "size", "u32", "set_u32")
 
     def __init__(self, buf) -> None:
-        self._mv = memoryview(buf).cast("B")
-        if self._mv.readonly:
+        mv = memoryview(buf).cast("B")
+        if mv.readonly:
             raise ValueError("SharedRegion requires a writable buffer")
-        self.size = len(self._mv)
+        self._mv = mv
+        self.size = len(mv)
 
-    # -- 32-bit words -----------------------------------------------------
+        # -- 32-bit words -------------------------------------------------
+        # ``u32`` / ``set_u32`` run millions of times per figure sweep.
+        # They are bound as per-instance closures over the memoryview
+        # rather than methods: a closure call skips the descriptor lookup
+        # and the ``self`` rebinding a bound method pays on every call.
+        unpack_from = _U32.unpack_from
+        pack_into = _U32.pack_into
 
-    def u32(self, off: int) -> int:
-        """Read the little-endian u32 at byte offset ``off``."""
-        return _U32.unpack_from(self._mv, off)[0]
+        def u32(off: int) -> int:
+            """Read the little-endian u32 at byte offset ``off``."""
+            return unpack_from(mv, off)[0]
 
-    def set_u32(self, off: int, value: int) -> None:
-        """Write ``value`` as a little-endian u32 at byte offset ``off``."""
-        _U32.pack_into(self._mv, off, value & 0xFFFFFFFF)
+        def set_u32(off: int, value: int) -> None:
+            """Write ``value`` as a little-endian u32 at byte offset ``off``."""
+            pack_into(mv, off, value & 0xFFFFFFFF)
+
+        self.u32 = u32
+        self.set_u32 = set_u32
 
     def add_u32(self, off: int, delta: int) -> int:
         """Add ``delta`` (may be negative) to the u32 at ``off``.

@@ -98,6 +98,7 @@ LNVC = Record(
         "seq",         # messages ever enqueued on this circuit (statistics)
         "hwm_nmsgs",   # deepest the FIFO has ever been (statistics)
         "name_len",    # bytes of UTF-8 name stored in the tail
+        "conn_epoch",  # bumped on every send/recv list mutation (see ops)
     ),
     tail_bytes=NAME_MAX + 1,
 )

@@ -49,17 +49,27 @@ class BalanceTiming:
         self._t_instr = config.instr_seconds
         self._t_flop = config.flop_seconds
         self._bus_byte = 1.0 / config.bus_bytes_per_second
+        self._n_cpus = config.n_cpus
 
     # -- TimingModel interface ------------------------------------------------
 
     def price(self, work: Work, running: int) -> float:
-        """Simulated seconds for ``work`` with ``running`` busy processes."""
-        dt = work.instrs * self._t_instr + work.flops * self._t_flop
+        """Simulated seconds for ``work`` with ``running`` busy processes.
+
+        The common case — instruction-only work from an uncontended,
+        un-oversubscribed primitive — takes the two-line fast path; the
+        model terms are only evaluated for work that carries their
+        inputs, and adding a zero term is a float identity, so the fast
+        path prices bit-for-bit identically to the full expression.
+        """
+        dt = work.instrs * self._t_instr
+        if work.flops:
+            dt += work.flops * self._t_flop
         if work.copy_bytes:
             dt += work.copy_bytes * self._bus_byte
             dt *= self.bus.slowdown()
-        if running > self.config.n_cpus:
-            dt *= running / self.config.n_cpus
+        if running > self._n_cpus:
+            dt *= running / self._n_cpus
         if work.blocks:
             dt += self.cache.penalty(work.blocks)
         if work.page_bytes:

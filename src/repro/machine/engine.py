@@ -23,10 +23,12 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
+
+_heappush = heapq.heappush
 from dataclasses import dataclass, field
 from typing import Callable, Generator, Protocol as TypingProtocol
 
-from ..core.effects import Acquire, Charge, Release, WaitOn, Wake
+from ..core.effects import Acquire, Charge, ChargeMany, Release, WaitOn, Wake
 from ..core.work import Work
 
 __all__ = [
@@ -229,6 +231,16 @@ class Engine:
         self._trace = trace
         self._recorder = recorder
         self._max_events = max_events
+        #: Processes currently in the ``runnable`` state, maintained
+        #: incrementally at every state transition so the per-charge
+        #: multiplexing factor costs O(1) instead of a scan of the
+        #: process table (the single hottest line of the interpreter).
+        self._runnable = 0
+        # Lock transfer costs are fixed machine constants (a property of
+        # the timing model, not of simulation state); sample them once
+        # instead of a method call per acquire/release event.
+        self._t_acquire = self.timing.acquire_cost()
+        self._t_release = self.timing.release_cost()
 
     # -- process management --------------------------------------------------
 
@@ -236,6 +248,7 @@ class Engine:
         """Register a process and schedule its first step at the current time."""
         proc = SimProcess(name=name, gen=gen, pid=len(self.processes))
         self.processes.append(proc)
+        self._runnable += 1
         self._schedule(proc, 0.0)
         return proc
 
@@ -253,20 +266,27 @@ class Engine:
         effects are interpreted strictly: a crashed process crashes the
         simulation, as a crashed Unix process would crash the benchmark).
         """
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
+        # Hot loop: localize everything touched per event.
+        heap = self._heap
+        heappop = heapq.heappop
+        stats = self.stats
+        step = self._step
+        max_events = self._max_events
+        while heap:
+            if until is not None and heap[0][0] > until:
                 # Stop without consuming the future event: a later run()
                 # resumes exactly where this one paused.
                 self.now = until
                 return self.now
-            t, _, proc = heapq.heappop(self._heap)
+            t, _, proc = heappop(heap)
             self.now = t
-            self.stats.events += 1
-            if self.stats.events > self._max_events:
-                raise SimulationError(f"exceeded {self._max_events} events")
-            if proc.state in (_DONE, _FAILED):
+            stats.events += 1
+            if stats.events > max_events:
+                raise SimulationError(f"exceeded {max_events} events")
+            state = proc.state
+            if state is _DONE or state is _FAILED:
                 continue
-            self._step(proc)
+            step(proc)
         blocked = [p for p in self.processes if p.state in (_WAIT_LOCK, _WAIT_CHAN)]
         if blocked:
             detail = ", ".join(
@@ -299,15 +319,37 @@ class Engine:
         except StopIteration as stop:
             proc.state = _DONE
             proc.result = stop.value
+            self._runnable -= 1
             return
         except BaseException as exc:
             proc.state = _FAILED
             proc.error = exc
+            self._runnable -= 1
             raise
-        self._dispatch(proc, effect)
+        # Type-keyed dispatch, most frequent effect first.  Exact class
+        # checks (not isinstance chains) are the common case; effect
+        # subclasses fall through to the isinstance path in _dispatch.
+        cls = effect.__class__
+        if self._trace is not None:
+            self._dispatch(proc, effect)
+        elif cls is Charge:
+            self._do_charge(proc, effect.work)
+        elif cls is Acquire:
+            self._do_acquire(proc, effect.lock_id)
+        elif cls is Release:
+            self._do_release(proc, effect.lock_id)
+        elif cls is WaitOn:
+            self._do_wait(proc, effect.chan, effect.lock_id)
+        elif cls is Wake:
+            self._do_wake(proc, effect.chan)
+        elif cls is ChargeMany:
+            self._do_charge_many(proc, effect.works)
+        else:
+            self._dispatch(proc, effect)
 
     def _dispatch(self, proc: SimProcess, effect: object) -> None:
-        if self._trace is not None:
+        """Traced / subclass dispatch path (the pre-fast-path semantics)."""
+        if self._trace is not None and not isinstance(effect, ChargeMany):
             self._trace(self.now, proc.name, repr(effect))
         if isinstance(effect, Charge):
             self._do_charge(proc, effect.work)
@@ -319,8 +361,13 @@ class Engine:
             self._do_wait(proc, effect.chan, effect.lock_id)
         elif isinstance(effect, Wake):
             self._do_wake(proc, effect.chan)
+        elif isinstance(effect, ChargeMany):
+            # Traced per part (as Charge lines) inside the handler, so
+            # per-label trace analyses see the same stream as unfused.
+            self._do_charge_many(proc, effect.works)
         else:
             proc.state = _FAILED
+            self._runnable -= 1
             err = SimulationError(
                 f"process {proc.name!r} yielded non-effect {effect!r}"
             )
@@ -330,19 +377,54 @@ class Engine:
     # -- effect handlers -------------------------------------------------------
 
     def _do_charge(self, proc: SimProcess, work: Work) -> None:
-        runnable = sum(1 for p in self.processes if p.state == _RUNNABLE)
-        dt = self.timing.price(work, runnable)
+        dt = self.timing.price(work, self._runnable)
         if work.copy_bytes > 0:
             proc._copying = True
             self.timing.copy_started()
-        self.stats.charges += 1
-        self.stats.charged_seconds += dt
+        stats = self.stats
+        stats.charges += 1
+        stats.charged_seconds += dt
         if self._recorder is not None:
             # Stamp the charge at its end so exported spans cover
             # [now, now + dt] once the recorder subtracts the duration.
             self._recorder.on_charge(self.now + dt, proc.name, work.label,
                                      dt, work.instrs, work.flops)
-        self._schedule(proc, dt)
+        self._seq += 1
+        _heappush(self._heap, (self.now + dt, self._seq, proc))
+
+    def _do_charge_many(self, proc: SimProcess, works: tuple[Work, ...]) -> None:
+        """Price several adjacent charges as one scheduler event.
+
+        Each part is priced separately (in order) and the clock advances
+        by ``((now + dt1) + dt2) ...`` — the *same float expression* the
+        equivalent back-to-back :class:`Charge` events would evaluate, so
+        resume timestamps are bit-identical, not merely close (summing
+        the dts first would differ in the last ulp and, across millions
+        of events, drift figure values).  Statistics, recorder hooks and
+        trace lines are emitted per part with the unfused timestamps.
+        See :class:`~repro.core.effects.ChargeMany` for the
+        (compute-only) restriction that makes this an identity.
+        """
+        timing = self.timing
+        runnable = self._runnable
+        stats = self.stats
+        recorder = self._recorder
+        trace = self._trace
+        t = self.now
+        for work in works:
+            if trace is not None:
+                self._trace(t, proc.name, f"Charge(work={work!r})")
+            dt = timing.price(work, runnable)
+            stats.charges += 1
+            stats.charged_seconds += dt
+            t = t + dt
+            if recorder is not None:
+                recorder.on_charge(t, proc.name, work.label,
+                                   dt, work.instrs, work.flops)
+        stats.events += len(works) - 1
+        # Schedule at the absolute accumulated time (not now + total).
+        self._seq += 1
+        heapq.heappush(self._heap, (t, self._seq, proc))
 
     def _lock(self, lock_id: int) -> _SimLock:
         try:
@@ -357,7 +439,10 @@ class Engine:
             raise SimulationError(f"wait channel {chan} out of range") from None
 
     def _do_acquire(self, proc: SimProcess, lock_id: int) -> None:
-        lock = self._lock(lock_id)
+        try:
+            lock = self.locks[lock_id]
+        except IndexError:
+            raise SimulationError(f"lock id {lock_id} out of range") from None
         self.stats.lock_acquires += 1
         if lock.owner is None:
             lock.owner = proc
@@ -365,7 +450,8 @@ class Engine:
             if self._recorder is not None:
                 self._recorder.on_acquire(self.now, proc.name, lock_id,
                                           0.0, contended=False)
-            self._schedule(proc, self.timing.acquire_cost())
+            self._seq += 1
+            _heappush(self._heap, (self.now + self._t_acquire, self._seq, proc))
         else:
             if lock.owner is proc:
                 raise SimulationError(
@@ -373,12 +459,16 @@ class Engine:
                 )
             self.stats.lock_contended += 1
             proc.state = _WAIT_LOCK
+            self._runnable -= 1
             proc._wait_lock = lock_id
             proc._blocked_since = self.now
             lock.waiters.append(proc)
 
     def _do_release(self, proc: SimProcess, lock_id: int) -> None:
-        lock = self._lock(lock_id)
+        try:
+            lock = self.locks[lock_id]
+        except IndexError:
+            raise SimulationError(f"lock id {lock_id} out of range") from None
         if lock.owner is not proc:
             raise SimulationError(
                 f"process {proc.name!r} released lock {lock_id} it does not own"
@@ -386,8 +476,12 @@ class Engine:
         if self._recorder is not None:
             self._recorder.on_release(self.now, proc.name, lock_id,
                                       self.now - lock.acquired_at)
-        self._grant_next(lock_id, lock)
-        self._schedule(proc, self.timing.release_cost())
+        if lock.waiters:
+            self._grant_next(lock_id, lock)
+        else:
+            lock.owner = None
+        self._seq += 1
+        _heappush(self._heap, (self.now + self._t_release, self._seq, proc))
 
     def _grant_next(self, lock_id: int, lock: _SimLock) -> None:
         """Hand the lock to its next FIFO waiter (or leave it free)."""
@@ -396,6 +490,7 @@ class Engine:
             lock.owner = nxt
             lock.acquired_at = self.now
             nxt.state = _RUNNABLE
+            self._runnable += 1
             nxt._wait_lock = None
             nxt.lock_wait_time += self.now - nxt._blocked_since
             if self._recorder is not None:
@@ -405,7 +500,8 @@ class Engine:
                     counted=not nxt._implicit_reacquire,
                 )
             nxt._implicit_reacquire = False
-            self._schedule(nxt, self.timing.acquire_cost())
+            self._seq += 1
+            _heappush(self._heap, (self.now + self._t_acquire, self._seq, nxt))
         else:
             lock.owner = None
 
@@ -425,6 +521,7 @@ class Engine:
                                       counted=False)
         self._grant_next(lock_id, lock)
         proc.state = _WAIT_CHAN
+        self._runnable -= 1
         proc._wait_lock = lock_id
         proc._blocked_since = self.now
         channel.sleepers.append(proc)
@@ -457,14 +554,19 @@ class Engine:
                 lock.owner = sleeper
                 lock.acquired_at = self.now
                 sleeper.state = _RUNNABLE
+                self._runnable += 1
                 sleeper._wait_lock = None
                 if self._recorder is not None:
                     self._recorder.on_acquire(self.now, sleeper.name, lock_id,
                                               0.0, contended=False,
                                               counted=False)
-                self._schedule(sleeper, self.timing.acquire_cost())
+                self._seq += 1
+                _heappush(self._heap,
+                          (self.now + self._t_acquire, self._seq, sleeper))
             else:
                 sleeper.state = _WAIT_LOCK
                 sleeper._implicit_reacquire = True
                 lock.waiters.append(sleeper)
-        self._schedule(proc, self.timing.wake_cost(n))
+        self._seq += 1
+        _heappush(self._heap, (self.now + self.timing.wake_cost(n),
+                               self._seq, proc))

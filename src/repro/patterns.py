@@ -34,6 +34,7 @@ import struct
 from typing import Callable, Sequence
 
 from .core.protocol import BROADCAST, FCFS
+from .core.work import Work
 from .runtime.base import Env
 
 __all__ = [
@@ -272,12 +273,19 @@ def select_receive(env: Env, lnvc_ids: Sequence[int], backoff_instrs: int = 400)
     """
     if not lnvc_ids:
         raise ValueError("select_receive needs at least one circuit")
+    # The backoff charge is fused into the next round's first check
+    # (ChargeMany via ``prelude``), halving the poll loop's scheduler
+    # round-trips; the charge stream — and hence all simulated timing —
+    # is identical to a separate ``env.compute`` between rounds.
+    backoff = Work(instrs=backoff_instrs, label="app-compute")
+    pending: Work | None = None
     while True:
         for cid in lnvc_ids:
-            if (yield from env.check_receive(cid)):
+            if (yield from env.check_receive(cid, prelude=pending)):
                 payload = yield from env.message_receive(cid)
                 return cid, payload
-        yield from env.compute(instrs=backoff_instrs)
+            pending = None
+        pending = backoff
 
 
 def exchange(env: Env, name: str, peer: int, payload: bytes):

@@ -82,17 +82,26 @@ class Env:
         """Close this process's receive connection on the circuit."""
         return ops.close_receive(self.view, self.rank, lnvc_id)
 
-    def message_send(self, lnvc_id: int, data: bytes):
-        """Asynchronously send ``data``; returns the message sequence number."""
-        return ops.message_send(self.view, self.rank, lnvc_id, data)
+    def message_send(self, lnvc_id: int, data: bytes, prelude: Work | None = None):
+        """Asynchronously send ``data``; returns the message sequence number.
+
+        ``prelude`` fuses compute-only application work with the send's
+        entry charge (one scheduler event instead of two) — equivalent to
+        ``yield from env.compute(...)`` immediately before the call.
+        """
+        return ops.message_send(self.view, self.rank, lnvc_id, data, prelude)
 
     def message_receive(self, lnvc_id: int, max_len: int | None = None):
         """Blocking receive; returns the payload bytes."""
         return ops.message_receive(self.view, self.rank, lnvc_id, max_len)
 
-    def check_receive(self, lnvc_id: int):
-        """Count messages currently available to this process (advisory)."""
-        return ops.check_receive(self.view, self.rank, lnvc_id)
+    def check_receive(self, lnvc_id: int, prelude: Work | None = None):
+        """Count messages currently available to this process (advisory).
+
+        ``prelude`` fuses compute-only application work with the check's
+        entry charge, as in :meth:`message_send`.
+        """
+        return ops.check_receive(self.view, self.rank, lnvc_id, prelude)
 
     # -- machine interaction ---------------------------------------------------
 
@@ -103,11 +112,7 @@ class Env:
         Gauss–Jordan and SOR figures depend on it); on real runtimes it is
         free — real compute takes real time by itself.
         """
-
-        def _gen():
-            yield Charge(Work(flops=flops, instrs=instrs, label="app-compute"))
-
-        return _gen()
+        yield Charge(Work(flops=flops, instrs=instrs, label="app-compute"))
 
     def now(self) -> float:
         """Current time: simulated seconds or wall-clock seconds."""

@@ -20,7 +20,7 @@ import time
 from typing import Generator, Sequence
 
 from ..core.costmodel import Costs, DEFAULT_COSTS
-from ..core.effects import Acquire, Charge, Release, WaitOn, Wake
+from ..core.effects import Acquire, Charge, ChargeMany, Release, WaitOn, Wake
 from ..core.layout import MPFConfig, SegmentLayout, format_region
 from ..core.ops import MPFView
 from ..core.protocol import FIRST_LNVC_LOCK
@@ -74,7 +74,7 @@ def drive(
             except StopIteration as stop:
                 return stop.value
             value = None
-            if isinstance(effect, Charge):
+            if isinstance(effect, (Charge, ChargeMany)):
                 continue
             if isinstance(effect, Acquire):
                 sync.locks[effect.lock_id].acquire()
@@ -120,6 +120,11 @@ def _drive_recorded(gen: Generator, sync: RealSync, recorder,
             w = effect.work
             recorder.on_charge(clock(), process, w.label, 0.0,
                                w.instrs, w.flops)
+        elif isinstance(effect, ChargeMany):
+            now = clock()
+            for w in effect.works:
+                recorder.on_charge(now, process, w.label, 0.0,
+                                   w.instrs, w.flops)
         elif isinstance(effect, Acquire):
             lock = sync.locks[effect.lock_id]
             contended = False

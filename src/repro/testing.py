@@ -13,7 +13,7 @@ outcome rather than a hang.
 from __future__ import annotations
 
 from .core.costmodel import DEFAULT_COSTS, Costs
-from .core.effects import Acquire, Charge, Release, WaitOn, Wake
+from .core.effects import Acquire, Charge, ChargeMany, Release, WaitOn, Wake
 from .core.layout import MPFConfig, SegmentLayout, format_region
 from .core.ops import MPFView
 from .core.region import SharedRegion
@@ -72,6 +72,8 @@ class DirectRunner:
                     self.held.remove(effect.lock_id)
                 elif isinstance(effect, Charge):
                     self.charged.append(effect.work)
+                elif isinstance(effect, ChargeMany):
+                    self.charged.extend(effect.works)
                 elif isinstance(effect, WaitOn):
                     # WaitOn releases its lock before sleeping; mirror
                     # that so the runner can keep executing other ops

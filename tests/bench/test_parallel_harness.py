@@ -1,0 +1,79 @@
+"""``run_series(jobs=N)`` must be invisible in the results.
+
+The parallel point runner farms sweep points out to a process pool; each
+point is an independent deterministic simulation and the harness
+reassembles results in sweep order, so a parallel sweep must produce the
+*same object tree* (``SweepResult.to_dict()``) as a serial one — values,
+extras, ordering, everything.  These tests pin that contract on a
+reduced Figure 4 sweep (the contention variant, so per-point extras are
+exercised too) and on a synthetic sweep whose points deliberately finish
+out of order.
+"""
+
+import time
+from functools import partial
+
+import pytest
+
+from repro.bench.figures import _receiver_point
+from repro.bench.harness import SweepResult, run_series, shutdown_pool
+from repro.bench.workloads import fcfs_throughput
+
+
+@pytest.fixture(autouse=True)
+def _teardown_pool():
+    yield
+    shutdown_pool()
+
+
+def _reduced_fig4(jobs: int) -> SweepResult:
+    """A shrunken Figure 4: two receiver counts, one message length."""
+    result = SweepResult(
+        "Figure 4 (reduced)", "fcfs benchmark", "receivers", "B/s"
+    )
+    run_series(
+        result, "16B", (1, 2),
+        partial(_receiver_point, fcfs_throughput, 16, 8, True),
+        jobs=jobs,
+    )
+    return result
+
+
+def test_parallel_fig4_sweep_matches_serial_exactly():
+    serial = _reduced_fig4(jobs=1)
+    parallel = _reduced_fig4(jobs=2)
+    assert parallel.to_dict() == serial.to_dict()
+    # The sweep actually measured something, including the lock extras.
+    pts = parallel.series[0].points
+    assert [p.x for p in pts] == [1, 2]
+    assert all(p.y > 0 for p in pts)
+    assert all("lnvc_acquires" in p.extra for p in pts)
+
+
+def _skewed_point(x: float) -> tuple[float, dict]:
+    # The first point sleeps so later points finish first; order of
+    # completion must not leak into the series.
+    if x == 1:
+        time.sleep(0.2)
+    return x * 10.0, {"tag": int(x)}
+
+
+def test_parallel_results_reassembled_in_sweep_order():
+    result = SweepResult("t", "t", "x", "y")
+    series = run_series(result, "s", (1, 2, 3), _skewed_point, jobs=2)
+    assert series.xs() == [1, 2, 3]
+    assert series.ys() == [10.0, 20.0, 30.0]
+    assert [p.extra["tag"] for p in series.points] == [1, 2, 3]
+
+
+def test_single_point_sweep_stays_serial():
+    # jobs > 1 with one point must not spin up a pool (nothing to
+    # overlap); the serial path handles it.
+    result = SweepResult("t", "t", "x", "y")
+    series = run_series(result, "s", (5,), _skewed_point, jobs=4)
+    assert series.ys() == [50.0]
+
+
+def test_shutdown_pool_is_idempotent():
+    shutdown_pool()
+    shutdown_pool()
