@@ -5,7 +5,7 @@ PY ?= python
 # a serial run (each point is an independent deterministic simulation).
 JOBS ?= 4
 
-.PHONY: install test bench shapes figures figures-quick clean
+.PHONY: install test bench shapes figures figures-quick check clean
 
 install:
 	pip install -e '.[dev]' || pip install -e '.[dev]' --no-build-isolation
@@ -18,6 +18,18 @@ bench:
 
 shapes:
 	$(PY) -m pytest benchmarks/ --benchmark-disable -q
+
+# Model-check the primitives: every scenario over seeded schedules (must
+# stay clean), plus one injected bug per fault family (the checker must
+# catch it, or the target fails).  See docs/checking.md.
+check:
+	$(PY) -m repro.check explore --scenario fcfs-race --seeds 200
+	$(PY) -m repro.check explore --scenario connect-churn --seeds 200
+	$(PY) -m repro.check explore --scenario freelist-churn --seeds 200
+	$(PY) -m repro.check explore --scenario mixed-protocol --seeds 200
+	$(PY) -m repro.check explore --scenario fcfs-race --seeds 200 --fault torn-send --expect-fail
+	$(PY) -m repro.check explore --scenario mixed-protocol --seeds 50 --fault drop-wake --expect-fail
+	$(PY) -m repro.check explore --scenario fcfs-race --runtime threads --repeats 10
 
 figures:
 	$(PY) -m repro.bench all --jobs $(JOBS) --json figures_full.json | tee figures_full.txt

@@ -27,6 +27,7 @@ __all__ = [
     "OutOfMessageMemoryError",
     "BufferOverflowError",
     "RegionFormatError",
+    "DeadlockSuspectedError",
 ]
 
 
@@ -107,3 +108,22 @@ class BufferOverflowError(MPFError, ValueError):
 
 class RegionFormatError(MPFError, RuntimeError):
     """The shared region does not contain a validly formatted MPF segment."""
+
+
+class DeadlockSuspectedError(MPFError, TimeoutError):
+    """A real runtime's workers did not finish within ``join_timeout``.
+
+    Unlike the simulated engine, real runtimes cannot *prove* a deadlock
+    (a thread may just be slow), so expiry of the join timeout raises
+    this suspicion instead of returning a truncated result.  ``threads``
+    maps each still-alive worker name to a dict with its last observed
+    effect (``"blocked_on"``) and the lock ids it holds (``"held"``),
+    giving the wait-for picture the paper's §3.2 lost-message discussion
+    warns about.  Subclasses :class:`TimeoutError` so existing
+    ``except TimeoutError`` callers keep working.
+    """
+
+    def __init__(self, msg: str, threads: dict | None = None) -> None:
+        super().__init__(msg)
+        #: per-thread dump: ``{name: {"blocked_on": ..., "held": [...]}}``
+        self.threads = threads or {}

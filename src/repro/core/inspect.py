@@ -24,7 +24,8 @@ from .protocol import NIL, MsgFlags, Protocol
 from .structs import LNVC, MSG, RECV, SEND
 
 __all__ = ["MessageInfo", "ConnectionInfo", "CircuitInfo", "SegmentInfo",
-           "inspect_segment", "render_segment"]
+           "inspect_segment", "render_segment",
+           "InvariantViolation", "collect_violations", "check_invariants"]
 
 
 @dataclass(frozen=True)
@@ -175,6 +176,268 @@ def inspect_segment(view: MPFView) -> SegmentInfo:
         total_sends=HDR.get(r, "total_sends"),
         total_receives=HDR.get(r, "total_receives"),
     )
+
+
+# ---------------------------------------------------------------------------
+# structural invariants
+# ---------------------------------------------------------------------------
+
+class InvariantViolation(AssertionError):
+    """A structural invariant of the shared segment does not hold."""
+
+
+def _walk_fifo(r, base, cap: int) -> list[int] | None:
+    """Message header offsets from ``fifo_head``; ``None`` on a cycle."""
+    out: list[int] = []
+    msg = LNVC.get(r, base, "fifo_head")
+    while msg != NIL:
+        if len(out) > cap:
+            return None
+        out.append(msg)
+        msg = MSG.get(r, msg, "next_msg")
+    return out
+
+
+def collect_violations(
+    view: MPFView, *, level: str = "final", expect_empty: bool = False
+) -> list[str]:
+    """Evaluate the segment's structural invariants; return violations.
+
+    ``level`` selects how much quiescence the caller can vouch for:
+
+    * ``"steady"`` — safe whenever no lock is held.  Checks the
+      identities MPF maintains atomically under its locks: allocator
+      counters vs free-list lengths, per-circuit FIFO length vs
+      ``nmsgs``, strictly increasing sequence numbers, high-water
+      marks, and the live-circuit count.  In-flight operations (an
+      allocated-but-unlinked message between a send's phases, a popped
+      descriptor not yet linked) do not disturb these.
+    * ``"final"`` — requires full quiescence (no operation in flight;
+      the state at the end of a run).  Adds reachability (every live
+      message header/block/byte is on some circuit's FIFO), descriptor
+      conservation, FCFS-head exactness, BROADCAST-head membership,
+      busy-pin drainage, and descriptor-cache coherence against a
+      from-scratch list walk.
+
+    ``expect_empty`` additionally demands the fully drained state every
+    clean shutdown must reach: no circuits, no messages, full pools.
+    """
+    if level not in ("steady", "final"):
+        raise ValueError(f"unknown invariant level {level!r}")
+    r = view.region
+    cfg = view.cfg
+    out: list[str] = []
+
+    free_msg = fl_count(r, HDR.u32["free_msg"], limit=cfg.max_messages + 1)
+    free_blk = fl_count(r, HDR.u32["free_blk"], limit=cfg.n_blocks + 1)
+    live_msgs = HDR.get(r, "live_msgs")
+    live_blocks = HDR.get(r, "live_blocks")
+    live_bytes = HDR.get(r, "live_bytes")
+    if free_msg + live_msgs != cfg.max_messages:
+        out.append(
+            f"header-pool identity broken: {free_msg} free + {live_msgs} live "
+            f"!= {cfg.max_messages} total message headers"
+        )
+    if free_blk + live_blocks != cfg.n_blocks:
+        out.append(
+            f"block-pool identity broken: {free_blk} free + {live_blocks} live "
+            f"!= {cfg.n_blocks} total blocks"
+        )
+
+    in_use_count = 0
+    queued_msgs = 0
+    queued_blocks = 0
+    queued_bytes = 0
+    linked_send = 0
+    linked_recv = 0
+    for slot in range(cfg.max_lnvcs):
+        base = view.layout.lnvc_off(slot)
+        if not LNVC.get(r, base, "in_use"):
+            continue
+        in_use_count += 1
+        tag = f"lnvc slot {slot}"
+        fifo = _walk_fifo(r, base, cfg.max_messages)
+        if fifo is None:
+            out.append(f"{tag}: FIFO is cyclic or overlong")
+            continue
+        nmsgs = LNVC.get(r, base, "nmsgs")
+        if nmsgs != len(fifo):
+            out.append(f"{tag}: nmsgs={nmsgs} but FIFO holds {len(fifo)}")
+        if LNVC.get(r, base, "hwm_nmsgs") < nmsgs:
+            out.append(f"{tag}: peak depth below current depth")
+        seqnos = [MSG.get(r, m, "seqno") for m in fifo]
+        if any(b <= a for a, b in zip(seqnos, seqnos[1:])):
+            out.append(f"{tag}: sequence numbers not strictly increasing: {seqnos}")
+        if fifo and LNVC.get(r, base, "fifo_tail") != fifo[-1]:
+            out.append(f"{tag}: fifo_tail does not point at the last message")
+        if not fifo and LNVC.get(r, base, "fifo_tail") != NIL:
+            out.append(f"{tag}: empty FIFO with non-NIL tail")
+        queued_msgs += len(fifo)
+        queued_blocks += sum(MSG.get(r, m, "nblocks") for m in fifo)
+        queued_bytes += sum(MSG.get(r, m, "length") for m in fifo)
+
+        n_senders = LNVC.get(r, base, "n_senders")
+        n_fcfs = LNVC.get(r, base, "n_fcfs")
+        n_bcast = LNVC.get(r, base, "n_bcast")
+        linked_send += n_senders
+        linked_recv += n_fcfs + n_bcast
+
+        if level == "final":
+            fifo_set = set(fifo)
+            # Descriptor lists match the counters and carry unique pids.
+            sends, pids, desc = [], set(), LNVC.get(r, base, "send_list")
+            while desc != NIL and len(sends) <= cfg.n_send:
+                sends.append(desc)
+                pid = SEND.get(r, desc, "pid")
+                if pid in pids:
+                    out.append(f"{tag}: duplicate send descriptor for pid {pid}")
+                pids.add(pid)
+                desc = SEND.get(r, desc, "next")
+            if len(sends) != n_senders:
+                out.append(
+                    f"{tag}: n_senders={n_senders} but send list holds {len(sends)}"
+                )
+            recvs, pids, desc = [], set(), LNVC.get(r, base, "recv_list")
+            got_fcfs = got_bcast = 0
+            while desc != NIL and len(recvs) <= cfg.n_recv:
+                recvs.append(desc)
+                pid = RECV.get(r, desc, "pid")
+                if pid in pids:
+                    out.append(f"{tag}: duplicate recv descriptor for pid {pid}")
+                pids.add(pid)
+                proto = Protocol(RECV.get(r, desc, "proto"))
+                if proto is Protocol.BROADCAST:
+                    got_bcast += 1
+                    head = RECV.get(r, desc, "head")
+                    if head != NIL and head not in fifo_set:
+                        out.append(
+                            f"{tag}: BROADCAST head of pid {pid} "
+                            "points outside the FIFO"
+                        )
+                else:
+                    got_fcfs += 1
+                desc = RECV.get(r, desc, "next")
+            if (got_fcfs, got_bcast) != (n_fcfs, n_bcast):
+                out.append(
+                    f"{tag}: receiver counters ({n_fcfs} FCFS, {n_bcast} BCAST) "
+                    f"disagree with the list ({got_fcfs}, {got_bcast})"
+                )
+            # FCFS head is exactly the first untaken message (or NIL).
+            first_untaken = NIL
+            for m in fifo:
+                if not MSG.get(r, m, "flags") & MsgFlags.FCFS_TAKEN:
+                    first_untaken = m
+                    break
+            if LNVC.get(r, base, "fcfs_head") != first_untaken:
+                out.append(f"{tag}: fcfs_head is not the first untaken message")
+            for m in fifo:
+                if MSG.get(r, m, "busy"):
+                    out.append(f"{tag}: message #{MSG.get(r, m, 'seqno')} "
+                               "still busy at quiescence")
+                if MSG.get(r, m, "bcast_pending") > n_bcast:
+                    out.append(f"{tag}: message #{MSG.get(r, m, 'seqno')} owes "
+                               "more BROADCAST reads than receivers exist")
+
+    live_lnvcs = HDR.get(r, "live_lnvcs")
+    if live_lnvcs != in_use_count:
+        out.append(
+            f"live_lnvcs={live_lnvcs} but {in_use_count} slots are in use"
+        )
+
+    if level == "final":
+        if queued_msgs != live_msgs:
+            out.append(
+                f"message reachability broken: {live_msgs} live headers but "
+                f"{queued_msgs} reachable from circuit FIFOs"
+            )
+        if queued_blocks != live_blocks:
+            out.append(
+                f"block reachability broken: {live_blocks} live blocks but "
+                f"{queued_blocks} reachable from queued messages"
+            )
+        if queued_bytes != live_bytes:
+            out.append(
+                f"byte accounting broken: live_bytes={live_bytes} but queued "
+                f"payloads total {queued_bytes}"
+            )
+        free_send = fl_count(r, HDR.u32["free_send"], limit=cfg.n_send + 1)
+        free_recv = fl_count(r, HDR.u32["free_recv"], limit=cfg.n_recv + 1)
+        if free_send + linked_send != cfg.n_send:
+            out.append(
+                f"send-descriptor conservation broken: {free_send} free + "
+                f"{linked_send} linked != {cfg.n_send}"
+            )
+        if free_recv + linked_recv != cfg.n_recv:
+            out.append(
+                f"recv-descriptor conservation broken: {free_recv} free + "
+                f"{linked_recv} linked != {cfg.n_recv}"
+            )
+        out.extend(_cache_violations(view))
+
+    if expect_empty:
+        if in_use_count:
+            out.append(f"expected empty segment: {in_use_count} circuits live")
+        if live_msgs or live_blocks or live_bytes:
+            out.append(
+                "expected drained pools: "
+                f"live_msgs={live_msgs} live_blocks={live_blocks} "
+                f"live_bytes={live_bytes}"
+            )
+    return out
+
+
+def _cache_violations(view: MPFView) -> list[str]:
+    """Check the ``(slot, pid)`` descriptor caches against a re-walk.
+
+    A cache entry whose generation and ``conn_epoch`` still match the
+    circuit must name exactly the descriptor (and walk length) a
+    from-scratch list walk finds — the coherence contract the PR 2 fast
+    path rests on.  Stale entries (generation or epoch moved on) are
+    legal; they just miss.
+    """
+    from .ops import _find_recv, _find_send  # local import: cycle guard
+
+    r = view.region
+    out: list[str] = []
+    for kind, cache, find in (
+        ("send", view._send_cache, _find_send),
+        ("recv", view._recv_cache, _find_recv),
+    ):
+        for (slot, pid), (desc, steps, gen, epoch) in cache.items():
+            if slot >= view.cfg.max_lnvcs:
+                continue
+            base = view.layout.lnvc_off(slot)
+            if not LNVC.get(r, base, "in_use"):
+                continue
+            if LNVC.get(r, base, "gen") != gen:
+                continue
+            if LNVC.get(r, base, "conn_epoch") != epoch:
+                continue
+            found, _, walked = find(view, base, pid)
+            if (found, walked) != (desc, steps):
+                out.append(
+                    f"{kind}-descriptor cache incoherent for slot {slot} pid "
+                    f"{pid}: cached ({desc}, {steps} steps) but a re-walk "
+                    f"finds ({found}, {walked} steps)"
+                )
+    return out
+
+
+def check_invariants(
+    view: MPFView, *, level: str = "final", expect_empty: bool = False
+) -> None:
+    """Raise :class:`InvariantViolation` unless the segment is consistent.
+
+    The single entry point shared by the :mod:`repro.check` model
+    checker and the test suite (see :func:`collect_violations` for what
+    each ``level`` covers).
+    """
+    violations = collect_violations(view, level=level, expect_empty=expect_empty)
+    if violations:
+        raise InvariantViolation(
+            f"{len(violations)} invariant violation(s):\n  "
+            + "\n  ".join(violations)
+        )
 
 
 def render_segment(info: SegmentInfo) -> str:

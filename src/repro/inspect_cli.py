@@ -12,6 +12,13 @@ header is validated against them, so a mismatch is an error, not a
 garbled dump).  The attach takes no locks; on a busy segment the
 snapshot may be torn — see the consistency caveat in
 :mod:`repro.core.inspect`.
+
+With ``--replay TRACE`` the tool instead re-executes a decision trace
+recorded by ``python -m repro.check`` and dumps the segment the failing
+schedule leaves behind — the same inspector, pointed at a reproduced
+bug instead of a live segment::
+
+    mpf-inspect --replay fail.json
 """
 
 from __future__ import annotations
@@ -31,7 +38,11 @@ def main(argv: list[str] | None = None) -> int:
         prog="mpf-inspect",
         description="Dump the live state of a named MPF shared segment.",
     )
-    parser.add_argument("name", help="segment name (as passed to PosixSegment.create)")
+    parser.add_argument("name", nargs="?", default=None,
+                        help="segment name (as passed to PosixSegment.create)")
+    parser.add_argument("--replay", default=None, metavar="TRACE",
+                        help="replay a repro.check decision trace and dump "
+                             "the segment it leaves behind")
     parser.add_argument("--max-lnvcs", type=int, default=32)
     parser.add_argument("--max-processes", type=int, default=32)
     parser.add_argument("--block-size", type=int, default=10)
@@ -40,6 +51,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--ext-slots", type=int, default=0)
     parser.add_argument("--ext-bytes", type=int, default=0)
     args = parser.parse_args(argv)
+
+    if args.replay is not None:
+        return _replay(args.replay)
+    if args.name is None:
+        parser.error("a segment name is required (or use --replay TRACE)")
 
     cfg = MPFConfig(
         max_lnvcs=args.max_lnvcs,
@@ -73,6 +89,27 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         region.release()
         shm.close()
+
+
+def _replay(path: str) -> int:
+    """Re-run a recorded schedule and dump the segment it produces."""
+    from .check.replay import replay_trace
+    from .obs import read_decision_trace
+
+    try:
+        trace = read_decision_trace(path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    outcome = replay_trace(trace)
+    print(f"replayed {trace['scenario']}"
+          + (f" fault={trace['fault']}" if trace.get("fault") else "")
+          + f": {outcome.status} ({outcome.events} events)")
+    if outcome.detail:
+        print(outcome.detail)
+    print()
+    print(render_segment(inspect_segment(outcome.view)))
+    return 0 if outcome.status == trace["status"] else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

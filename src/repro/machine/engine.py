@@ -205,6 +205,18 @@ class Engine:
         Optional :class:`repro.obs.Recorder` receiving structured
         metrics hooks (lock wait/hold times, charge labels) with
         simulated timestamps.  Observational: never changes timing.
+    scheduler:
+        Optional schedule policy.  When set, the engine runs in
+        *controlled* mode: at every point where more than one pending
+        event shares the earliest timestamp, the policy's
+        ``choose(now, candidates)`` picks which process steps next
+        (candidates are :class:`SimProcess`, ordered by sequence number,
+        so index 0 is the default FIFO choice).  Under
+        :class:`ZeroTimingModel` every pending event is simultaneous,
+        which exposes the full interleaving space to the policy — the
+        hook :mod:`repro.check` uses for systematic schedule
+        exploration.  If the policy has an ``attach(engine)`` method it
+        is called once before the first event.
     """
 
     def __init__(
@@ -216,6 +228,7 @@ class Engine:
         trace: Callable[[float, str, str], None] | None = None,
         max_events: int = 200_000_000,
         recorder=None,
+        scheduler=None,
     ) -> None:
         if n_locks < 1 or n_channels < 0:
             raise SimulationError("engine needs at least one lock")
@@ -231,6 +244,7 @@ class Engine:
         self._trace = trace
         self._recorder = recorder
         self._max_events = max_events
+        self._scheduler = scheduler
         #: Processes currently in the ``runnable`` state, maintained
         #: incrementally at every state transition so the per-charge
         #: multiplexing factor costs O(1) instead of a scan of the
@@ -266,6 +280,8 @@ class Engine:
         effects are interpreted strictly: a crashed process crashes the
         simulation, as a crashed Unix process would crash the benchmark).
         """
+        if self._scheduler is not None:
+            return self._run_controlled(until)
         # Hot loop: localize everything touched per event.
         heap = self._heap
         heappop = heapq.heappop
@@ -287,6 +303,60 @@ class Engine:
             if state is _DONE or state is _FAILED:
                 continue
             step(proc)
+        self._raise_if_stalled()
+        return self.now
+
+    def _run_controlled(self, until: float | None) -> float:
+        """The schedule-controlled twin of :meth:`run`.
+
+        Kept separate so the uncontrolled hot loop pays nothing for the
+        hook.  Semantics differ in exactly one way: among the pending
+        events sharing the earliest timestamp, the scheduler policy —
+        not heap sequence order — picks which fires.  Everything the
+        policy can choose is a legal interleaving: ties in simulated
+        time are concurrency, and the default engine merely resolves
+        them FIFO.
+        """
+        sched = self._scheduler
+        attach = getattr(sched, "attach", None)
+        if attach is not None:
+            attach(self)
+        heap = self._heap
+        heappop = heapq.heappop
+        stats = self.stats
+        while heap:
+            # Drop stale entries for finished processes up front so they
+            # never appear as candidates.
+            while heap and heap[0][2].state in (_DONE, _FAILED):
+                heappop(heap)
+            if not heap:
+                break
+            t0 = heap[0][0]
+            if until is not None and t0 > until:
+                self.now = until
+                return self.now
+            cands = [
+                e for e in heap
+                if e[0] == t0 and e[2].state not in (_DONE, _FAILED)
+            ]
+            cands.sort(key=lambda e: e[1])
+            if len(cands) == 1:
+                entry = cands[0]
+            else:
+                idx = sched.choose(t0, [e[2] for e in cands])
+                entry = cands[idx if 0 <= idx < len(cands) else 0]
+            heap.remove(entry)
+            heapq.heapify(heap)
+            self.now = t0
+            stats.events += 1
+            if stats.events > self._max_events:
+                raise SimulationError(f"exceeded {self._max_events} events")
+            self._step(entry[2])
+        self._raise_if_stalled()
+        return self.now
+
+    def _raise_if_stalled(self) -> None:
+        """Raise :class:`DeadlockError` if blocked processes remain."""
         blocked = [p for p in self.processes if p.state in (_WAIT_LOCK, _WAIT_CHAN)]
         if blocked:
             detail = ", ".join(
@@ -296,7 +366,6 @@ class Engine:
                 for p in blocked
             )
             raise DeadlockError(f"no pending events but blocked: {detail}")
-        return self.now
 
     def results(self) -> dict[str, object]:
         """Map process name → generator return value (after :meth:`run`)."""

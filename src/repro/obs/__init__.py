@@ -35,8 +35,10 @@ from .export import (
     chrome_trace,
     format_lock_profile,
     format_summary,
+    read_decision_trace,
     to_jsonl,
     write_chrome_trace,
+    write_decision_trace,
     write_jsonl,
 )
 from .recorder import Histogram, LockStats, Recorder, Span, WorkStats, lock_name
@@ -56,4 +58,6 @@ __all__ = [
     "write_jsonl",
     "chrome_trace",
     "write_chrome_trace",
+    "write_decision_trace",
+    "read_decision_trace",
 ]

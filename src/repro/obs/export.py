@@ -32,6 +32,8 @@ __all__ = [
     "write_jsonl",
     "chrome_trace",
     "write_chrome_trace",
+    "write_decision_trace",
+    "read_decision_trace",
 ]
 
 
@@ -149,3 +151,29 @@ def chrome_trace(rec: "Recorder") -> dict:
 def write_chrome_trace(rec: "Recorder", path: str) -> None:
     with open(path, "w") as fh:
         json.dump(chrome_trace(rec), fh)
+
+
+def write_decision_trace(trace: dict, path: str) -> None:
+    """Persist a :mod:`repro.check` schedule decision trace as JSON.
+
+    A decision trace is the scheduling half of a controlled run: which
+    candidate index was chosen at each multi-candidate point (plus the
+    scenario/fault/policy metadata needed to rebuild the run).  The
+    format is the dict produced by :func:`repro.check.replay.make_trace`;
+    writing is centralized here with the other exporters so traces share
+    the observability layer's determinism guarantee.
+    """
+    if trace.get("format") != 1:
+        raise ValueError("not a decision trace (missing format: 1)")
+    with open(path, "w") as fh:
+        json.dump(trace, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def read_decision_trace(path: str) -> dict:
+    """Load a decision trace written by :func:`write_decision_trace`."""
+    with open(path) as fh:
+        trace = json.load(fh)
+    if not isinstance(trace, dict) or trace.get("format") != 1:
+        raise ValueError(f"{path}: not a decision trace (format != 1)")
+    return trace

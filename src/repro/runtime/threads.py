@@ -21,13 +21,36 @@ from typing import Generator, Sequence
 
 from ..core.costmodel import Costs, DEFAULT_COSTS
 from ..core.effects import Acquire, Charge, ChargeMany, Release, WaitOn, Wake
+from ..core.errors import DeadlockSuspectedError
 from ..core.layout import MPFConfig, SegmentLayout, format_region
 from ..core.ops import MPFView
 from ..core.protocol import FIRST_LNVC_LOCK
 from ..core.region import SharedRegion
 from .base import Env, RunResult, Runtime, Worker, snapshot_header
 
-__all__ = ["ThreadRuntime", "drive", "RealSync"]
+__all__ = ["ThreadRuntime", "drive", "RealSync", "ThreadState"]
+
+
+class ThreadState:
+    """What one driven worker is doing right now, for deadlock dumps.
+
+    Updated by :func:`drive` *before* each blocking call, so when a join
+    timeout fires the runtime can report what every stuck thread was
+    last waiting on and which locks it still holds.  Plain attribute
+    writes only — cheap enough to keep on the uninstrumented path.
+    """
+
+    __slots__ = ("blocked_on", "held")
+
+    def __init__(self) -> None:
+        #: ``("lock", lock_id)`` / ``("chan", chan)`` while blocking,
+        #: ``None`` while running, ``("done",)`` after return.
+        self.blocked_on: tuple | None = None
+        #: lock ids currently held, in acquisition order.
+        self.held: list[int] = []
+
+    def dump(self) -> dict:
+        return {"blocked_on": self.blocked_on, "held": list(self.held)}
 
 
 class RealSync:
@@ -52,6 +75,7 @@ def drive(
     recorder=None,
     process: str = "p0",
     clock=None,
+    state: ThreadState | None = None,
 ) -> object:
     """Trampoline: run an effect generator against real primitives.
 
@@ -66,20 +90,27 @@ def drive(
     simulated time.  ``Charge`` labels are tallied by instruction budget
     (their wall time is zero: real compute takes real time by itself).
     """
+    if state is None:
+        state = ThreadState()
     if recorder is None:
         value: object = None
         while True:
             try:
                 effect = gen.send(value)
             except StopIteration as stop:
+                state.blocked_on = ("done",)
                 return stop.value
             value = None
             if isinstance(effect, (Charge, ChargeMany)):
                 continue
             if isinstance(effect, Acquire):
+                state.blocked_on = ("lock", effect.lock_id)
                 sync.locks[effect.lock_id].acquire()
+                state.blocked_on = None
+                state.held.append(effect.lock_id)
             elif isinstance(effect, Release):
                 sync.locks[effect.lock_id].release()
+                state.held.remove(effect.lock_id)
             elif isinstance(effect, WaitOn):
                 expected = FIRST_LNVC_LOCK + effect.chan
                 if effect.lock_id != expected:
@@ -89,7 +120,11 @@ def drive(
                     )
                 # The caller holds the circuit lock, which is exactly the
                 # condition's lock: wait() releases and reacquires atomically.
+                state.blocked_on = ("chan", effect.chan)
+                state.held.remove(effect.lock_id)
                 sync.conditions[effect.chan].wait()
+                state.blocked_on = None
+                state.held.append(effect.lock_id)
             elif isinstance(effect, Wake):
                 cond = sync.conditions[effect.chan]
                 # MPF wakes after releasing the circuit lock, so take the
@@ -101,11 +136,11 @@ def drive(
                     f"non-effect {effect!r} yielded to real runtime"
                 )
     return _drive_recorded(gen, sync, recorder, process,
-                           clock or time.perf_counter)
+                           clock or time.perf_counter, state)
 
 
 def _drive_recorded(gen: Generator, sync: RealSync, recorder,
-                    process: str, clock) -> object:
+                    process: str, clock, state: ThreadState) -> object:
     """The instrumented twin of :func:`drive` (kept separate so the
     common uninstrumented path stays allocation-free)."""
     held_since: dict[int, float] = {}
@@ -114,6 +149,7 @@ def _drive_recorded(gen: Generator, sync: RealSync, recorder,
         try:
             effect = gen.send(value)
         except StopIteration as stop:
+            state.blocked_on = ("done",)
             return stop.value
         value = None
         if isinstance(effect, Charge):
@@ -133,18 +169,22 @@ def _drive_recorded(gen: Generator, sync: RealSync, recorder,
             except TypeError:  # lock type without a non-blocking mode
                 got = False
             if not got:
+                state.blocked_on = ("lock", effect.lock_id)
                 t0 = clock()
                 lock.acquire()
                 wait = clock() - t0
                 contended = True
             else:
                 wait = 0.0
+            state.blocked_on = None
+            state.held.append(effect.lock_id)
             now = clock()
             recorder.on_acquire(now, process, effect.lock_id, wait, contended)
             held_since[effect.lock_id] = now
         elif isinstance(effect, Release):
             lock = sync.locks[effect.lock_id]
             lock.release()
+            state.held.remove(effect.lock_id)
             now = clock()
             recorder.on_release(now, process, effect.lock_id,
                                 now - held_since.pop(effect.lock_id, now))
@@ -159,7 +199,11 @@ def _drive_recorded(gen: Generator, sync: RealSync, recorder,
             recorder.on_release(t0, process, effect.lock_id,
                                 t0 - held_since.pop(effect.lock_id, t0),
                                 counted=False)
+            state.blocked_on = ("chan", effect.chan)
+            state.held.remove(effect.lock_id)
             sync.conditions[effect.chan].wait()
+            state.blocked_on = None
+            state.held.append(effect.lock_id)
             now = clock()
             recorder.on_chan_wait(now, process, effect.chan, now - t0)
             # wait() returns with the circuit lock re-held: a new hold
@@ -218,6 +262,8 @@ class ThreadRuntime(Runtime):
         if self.recorder is not None:
             self.recorder.clock = "wall"
 
+        states = {name: ThreadState() for name in names}
+
         def body(name: str, rank: int, worker: Worker) -> None:
             env = Env(view, rank, nprocs, clock)
             rec = None
@@ -225,7 +271,8 @@ class ThreadRuntime(Runtime):
                 rec = locals_[name] = self.recorder.child()
             try:
                 results[name] = drive(worker(env), sync, recorder=rec,
-                                      process=name, clock=clock)
+                                      process=name, clock=clock,
+                                      state=states[name])
             except BaseException as exc:  # surfaced after join
                 errors[name] = exc
 
@@ -238,9 +285,27 @@ class ThreadRuntime(Runtime):
         for t in threads:
             t.join(self.join_timeout)
             if t.is_alive():
-                raise TimeoutError(
+                stuck = {
+                    th.name: states[th.name].dump()
+                    for th in threads if th.is_alive()
+                }
+                lines = [
+                    f"  {n}: blocked_on={d['blocked_on']} held={d['held']}"
+                    for n, d in sorted(stuck.items())
+                ]
+                # A worker that died early (its peers now wait forever on
+                # it) is the likelier root cause than a true deadlock —
+                # name those errors instead of masking them.
+                lines += [
+                    f"  {n}: died with {errors[n]!r}"
+                    for n in sorted(errors)
+                ]
+                raise DeadlockSuspectedError(
                     f"worker {t.name!r} did not finish within "
-                    f"{self.join_timeout}s (blocked receive?)"
+                    f"{self.join_timeout}s (blocked receive?); "
+                    f"{len(stuck)} thread(s) still alive:\n"
+                    + "\n".join(lines),
+                    threads=stuck,
                 )
         if self.recorder is not None:
             for name in names:  # deterministic merge order

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import ops
 from repro.core.errors import UnknownLNVCError
-from repro.core.inspect import inspect_segment
+from repro.core.inspect import check_invariants, inspect_segment
 from repro.core.protocol import FCFS
 from repro.core.structs import LNVC
 from repro.core.ops import SLOT_BITS, decode_lnvc_id, encode_lnvc_id
@@ -98,8 +98,7 @@ class TestBoundaryPayloads:
         r.run(ops.open_receive(v, 0, "q", FCFS))
         r.run(ops.message_send(v, 0, cid, b"abc"))
         assert r.run(ops.message_receive(v, 0, cid)) == b"abc"
-        info = inspect_segment(v)
-        assert info.free_blk == v.cfg.n_blocks  # all three blocks back
+        check_invariants(v)  # all three blocks back, accounting intact
 
     def test_message_exactly_filling_pool(self):
         v = make_view(block_size=10, message_pool_bytes=14 * 5)  # 5 blocks

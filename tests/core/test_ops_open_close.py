@@ -12,6 +12,7 @@ from repro.core.errors import (
     ProtocolViolationError,
     UnknownLNVCError,
 )
+from repro.core.inspect import check_invariants
 from repro.core.layout import HDR
 from repro.core.protocol import BROADCAST, FCFS
 from repro.core.structs import LNVC
@@ -194,6 +195,4 @@ def test_queued_messages_discarded_on_delete(view, runner):
     assert HDR.get(view.region, "live_msgs") == 2
     runner.run(ops.close_send(view, 0, cid))
     # Paper §2: "the LNVC is deleted and all unread messages are discarded."
-    assert HDR.get(view.region, "live_msgs") == 0
-    assert HDR.get(view.region, "live_blocks") == 0
-    assert HDR.get(view.region, "live_bytes") == 0
+    check_invariants(view, expect_empty=True)

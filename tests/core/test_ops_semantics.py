@@ -4,6 +4,7 @@ mixed protocols, retirement and the close_receive garbage problem."""
 import pytest
 
 from repro.core import ops
+from repro.core.inspect import check_invariants
 from repro.core.layout import HDR
 from repro.core.protocol import BROADCAST, FCFS, MsgFlags, NIL
 from repro.core.structs import LNVC, MSG
@@ -137,7 +138,7 @@ class TestRetirement:
         r.run(ops.message_receive(v, bcast[0], cid))
         r.run(ops.message_receive(v, bcast[1], cid))
         assert HDR.get(v.region, "live_msgs") == 0
-        assert HDR.get(v.region, "live_blocks") == 0
+        check_invariants(v)
 
     def test_message_with_no_receivers_is_held(self, r, v):
         cid = r.run(ops.open_send(v, 0, "c"))
@@ -198,7 +199,7 @@ class TestCloseReceiveGarbage:
         # "all messages unread by the receiver but read by all other
         # connected receiver processes must be deleted."
         assert HDR.get(v.region, "live_msgs") == 0
-        assert HDR.get(v.region, "live_blocks") == 0
+        check_invariants(v)
 
     def test_closing_bcast_receiver_keeps_messages_others_owe(self, r, v):
         cid, _, bcast = _setup(r, v, n_bcast=2)

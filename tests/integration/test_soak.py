@@ -6,7 +6,7 @@ with conservation checked at the end.  This is the "whole system under
 sustained load" test the unit suite cannot provide.
 """
 
-from repro.core.inspect import inspect_segment
+from repro.core.inspect import check_invariants
 from repro.core.layout import MPFConfig
 from repro.core.protocol import BROADCAST, FCFS
 from repro.patterns import barrier
@@ -78,14 +78,7 @@ def test_twenty_process_mixed_soak():
     assert all(result.results[f"p{i}"] == "done" for i in range(1, 20))
 
     # Conservation at scale: nothing leaked anywhere.
-    info = inspect_segment(runtime.last_view)
-    assert info.circuits == []
-    assert info.live_msgs == 0
-    assert info.live_blocks == 0
-    assert info.free_msg == cfg.max_messages
-    assert info.free_blk == cfg.n_blocks
-    assert info.free_send == cfg.n_send
-    assert info.free_recv == cfg.n_recv
+    check_invariants(runtime.last_view, expect_empty=True)
 
     # Substantial traffic actually happened.
     assert result.header["total_sends"] > 500

@@ -14,6 +14,7 @@ byte-level data structures and assert the paper's delivery contract:
 from hypothesis import given, settings, strategies as st
 
 from repro.core import ops
+from repro.core.inspect import check_invariants
 from repro.core.layout import HDR
 from repro.core.protocol import BROADCAST, FCFS
 from repro.testing import BlockedError, DirectRunner, make_view
@@ -30,7 +31,7 @@ def test_payload_roundtrip_any_block_size(payload, block_size):
     r.run(ops.open_receive(v, 0, "c", FCFS))
     r.run(ops.message_send(v, 0, cid, payload))
     assert r.run(ops.message_receive(v, 0, cid)) == payload
-    assert HDR.get(v.region, "live_blocks") == 0
+    check_invariants(v)
 
 
 @given(st.lists(payloads, min_size=1, max_size=20))
@@ -95,8 +96,7 @@ def test_delivery_contract_mixed_receivers(n_fcfs, n_bcast, messages, rng):
         except BlockedError:
             pass
     assert HDR.get(v.region, "live_msgs") == 0
-    assert HDR.get(v.region, "live_blocks") == 0
-    assert HDR.get(v.region, "live_bytes") == 0
+    check_invariants(v)
 
 
 @given(
@@ -138,4 +138,5 @@ def test_random_op_soup_never_corrupts(script):
             pass
         live = HDR.get(v.region, "live_msgs")
         assert live == queued, f"conservation broken: {live} != {queued}"
+        check_invariants(v)
     assert not r.held

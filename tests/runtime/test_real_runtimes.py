@@ -9,6 +9,7 @@ import sys
 
 import pytest
 
+from repro.core.errors import DeadlockSuspectedError
 from repro.core.protocol import BROADCAST, FCFS
 from repro.patterns import all_to_all, barrier, broadcast, gather
 from repro.runtime.procs import ProcRuntime
@@ -138,8 +139,16 @@ def test_threads_blocked_worker_times_out():
         rid = yield from env.open_receive("void", FCFS)
         yield from env.message_receive(rid)
 
-    with pytest.raises(TimeoutError):
+    # DeadlockSuspectedError subclasses TimeoutError, so callers that
+    # only know about timeouts keep working...
+    with pytest.raises(TimeoutError) as excinfo:
         ThreadRuntime(join_timeout=0.5).run([stuck])
+    # ...but the richer type carries a per-thread wait-state dump.
+    assert isinstance(excinfo.value, DeadlockSuspectedError)
+    dump = excinfo.value.threads["p0"]
+    assert dump["blocked_on"] == ("chan", 0)
+    assert dump["held"] == []
+    assert "blocked_on=('chan', 0)" in str(excinfo.value)
 
 
 def test_procs_worker_failure_reported():
