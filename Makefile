@@ -5,7 +5,7 @@ PY ?= python
 # a serial run (each point is an independent deterministic simulation).
 JOBS ?= 4
 
-.PHONY: install test bench shapes figures figures-quick check clean
+.PHONY: install test bench shapes figures figures-quick check trace-smoke clean
 
 install:
 	pip install -e '.[dev]' || pip install -e '.[dev]' --no-build-isolation
@@ -30,6 +30,21 @@ check:
 	$(PY) -m repro.check explore --scenario fcfs-race --seeds 200 --fault torn-send --expect-fail
 	$(PY) -m repro.check explore --scenario mixed-protocol --seeds 50 --fault drop-wake --expect-fail
 	$(PY) -m repro.check explore --scenario fcfs-race --runtime threads --repeats 10
+
+# Causal-tracing smoke: run the fig4 contention sweep with per-message
+# tracing, then validate the Prometheus exposition and the DOT flow
+# graph it exported (per-runtime suffixed files).  See docs/tracing.md.
+trace-smoke:
+	$(PY) -m repro.bench trace fig4 --quick --causal \
+		--prom /tmp/mpf_fig4.prom --flow /tmp/mpf_fig4.dot
+	$(PY) -c "\
+	from repro.obs import check_dot, parse_exposition; \
+	[parse_exposition(open(f'/tmp/mpf_fig4-{k}.prom').read()) \
+	 for k in ('sim', 'procs')]; \
+	edges = [check_dot(open(f'/tmp/mpf_fig4-{k}.dot').read()) \
+	         for k in ('sim', 'procs')]; \
+	assert min(edges) > 0, edges; \
+	print(f'trace smoke ok: flow edges {edges}')"
 
 figures:
 	$(PY) -m repro.bench all --jobs $(JOBS) --json figures_full.json | tee figures_full.txt

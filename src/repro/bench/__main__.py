@@ -28,11 +28,16 @@ threads/processes)::
     python -m repro.bench trace fig4 --quick
     python -m repro.bench trace fig4 --runtime sim --runtime procs
     python -m repro.bench trace fig4 --chrome fig4.trace.json --jsonl fig4.jsonl
+    python -m repro.bench trace fig4 --quick --causal --flow fig4.dot
 
 ``--chrome`` writes one ``chrome://tracing`` file per runtime (open via
 the "Load" button there or in https://ui.perfetto.dev), ``--jsonl`` one
 JSON-lines event dump per runtime; both describe the largest swept
-receiver count.
+receiver count.  ``--causal`` turns on per-message lifecycle tracing
+(sojourn latency columns in the table, a stage breakdown and stall
+report per runtime, async message spans in ``--chrome`` output);
+``--flow`` then writes the message flow graph as Graphviz DOT and
+``--prom`` the metrics in Prometheus text exposition format.
 """
 
 from __future__ import annotations
@@ -85,11 +90,31 @@ def trace_main(argv: list[str]) -> int:
         help="write the largest point's chrome://tracing file, one per "
         "runtime (PATH gets a -<runtime> suffix)",
     )
+    parser.add_argument(
+        "--causal", action="store_true",
+        help="also trace per-message lifecycles: sojourn latency columns, "
+        "a per-LNVC stage breakdown and a stall report per runtime",
+    )
+    parser.add_argument(
+        "--prom", metavar="PATH",
+        help="write the largest point's metrics in Prometheus text "
+        "exposition format, one file per runtime (PATH gets a -<runtime> "
+        "suffix); message metrics appear with --causal",
+    )
+    parser.add_argument(
+        "--flow", metavar="PATH",
+        help="write the largest point's message flow graph as Graphviz "
+        "DOT, one file per runtime (PATH gets a -<runtime> suffix); "
+        "requires --causal",
+    )
     args = parser.parse_args(argv)
+    if args.flow and not args.causal:
+        parser.error("--flow requires --causal (the graph is built from "
+                     "lifecycle events)")
     kinds = tuple(args.runtimes) if args.runtimes else ("sim", "procs")
 
     t0 = time.perf_counter()
-    result = CONTENTION[args.figure](args.quick, kinds)
+    result = CONTENTION[args.figure](args.quick, kinds, causal=args.causal)
     wall = time.perf_counter() - t0
     print(result.format_table())
     print()
@@ -102,9 +127,35 @@ def trace_main(argv: list[str]) -> int:
         top = max(ns)
         rec = result.recorders[(kind, top)]
         print()
+        unit = result.x_label.split(" ", 1)[0]
         print(f"{args.figure} lock profile — {kind} runtime, "
-              f"{top} receiver(s):")
+              f"{unit}={top}:")
         print(rec.format_lock_profile())
+        if args.causal and rec.causal is not None:
+            from ..obs import (
+                detect_stalls, flow_dot, flow_from_causal, format_sojourn,
+            )
+
+            print()
+            print(f"{args.figure} message sojourn — {kind} runtime, "
+                  f"largest point:")
+            print(format_sojourn(rec.causal))
+            stalls = detect_stalls(rec.causal)
+            if stalls:
+                print()
+                print("backpressure/stall findings:")
+                for s in stalls:
+                    print(f"  (!) {s}")
+            if args.flow:
+                path = _suffixed(args.flow, kind)
+                with open(path, "w") as fh:
+                    fh.write(flow_dot(flow_from_causal(rec.causal)))
+                print(f"wrote {path}")
+        if args.prom:
+            path = _suffixed(args.prom, kind)
+            with open(path, "w") as fh:
+                fh.write(rec.prometheus())
+            print(f"wrote {path}")
         if args.jsonl:
             path = _suffixed(args.jsonl, kind)
             rec.write_jsonl(path)

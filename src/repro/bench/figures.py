@@ -32,7 +32,7 @@ from ..core.protocol import FCFS
 from ..ext.o2o import O2ORing
 from ..ext.sync_channel import SyncChannels
 from ..machine.balance import BALANCE_21000
-from ..obs import Recorder
+from ..obs import Recorder, busiest_lnvc, sojourn_stats
 from ..runtime.sim import SimRuntime
 from .harness import SweepResult, run_series
 from .workloads import (
@@ -49,6 +49,7 @@ __all__ = [
     "fig6",
     "fig7",
     "fig8",
+    "fig3_contention",
     "fig4_contention",
     "fig5_contention",
     "ablation_sync",
@@ -69,8 +70,34 @@ __all__ = [
 # ---------------------------------------------------------------------------
 
 
-def _fig3_point(msgs: int, length: int) -> tuple[float, dict]:
-    m = base_throughput(length, messages=msgs)
+def _causal_extras(tracer) -> dict:
+    """Latency columns from a causal trace: per-stage p50s plus the
+    end-to-end tail, in microseconds, for the busiest LNVC (the data
+    circuit — barrier control traffic carries far fewer sends)."""
+    key = busiest_lnvc(tracer)
+    if key is None:
+        return {}
+    stats = sojourn_stats(tracer)[key]
+
+    def us(stage: str, q: str) -> float:
+        return round(1e6 * getattr(stats[stage], q), 2)
+
+    return {
+        "alloc_p50_us": us("alloc", "p50"),
+        "copyin_p50_us": us("copy_in", "p50"),
+        "resid_p50_us": us("resident", "p50"),
+        "copyout_p50_us": us("copy_out", "p50"),
+        "e2e_p50_us": us("e2e", "p50"),
+        "e2e_p95_us": us("e2e", "p95"),
+    }
+
+
+def _fig3_point(msgs: int, length: int, causal: bool = False) -> tuple[float, dict]:
+    # With causal=True a tracer rides along (limit=0 skips span
+    # recording) but the returned point is unchanged: the acceptance
+    # check that traced fig3 output is byte-identical to untraced.
+    rec = Recorder(limit=0, causal=True) if causal else None
+    m = base_throughput(length, messages=msgs, recorder=rec)
     return m.throughput, {}
 
 
@@ -106,7 +133,7 @@ def _fig8_point(m: int, iters: int, n: int) -> tuple[float, dict]:
     return sor_per_iteration_speedup(m, n, iterations=iters), {}
 
 
-def fig3(quick: bool = False, jobs: int = 1) -> SweepResult:
+def fig3(quick: bool = False, jobs: int = 1, causal: bool = False) -> SweepResult:
     """Figure 3: base benchmark, loop-back throughput vs message length."""
     result = SweepResult(
         "Figure 3", "Base benchmark: throughput vs. message length",
@@ -114,7 +141,8 @@ def fig3(quick: bool = False, jobs: int = 1) -> SweepResult:
     )
     lengths = (64, 256, 1024, 2048) if quick else (16, 64, 128, 256, 512, 768, 1024, 1536, 2048)
     msgs = 24 if quick else 64
-    run_series(result, "base", lengths, partial(_fig3_point, msgs), jobs=jobs)
+    run_series(result, "base", lengths, partial(_fig3_point, msgs, causal=causal),
+               jobs=jobs)
     result.note("paper: rises toward a ~22-25 KB/s asymptote; memory/copy bound")
     return result
 
@@ -157,7 +185,8 @@ def fig5(quick: bool = False, jobs: int = 1) -> SweepResult:
 
 
 def _contention_sweep(figure: str, bench_name: str, fn, quick: bool,
-                      runtimes: tuple[str, ...], length: int) -> SweepResult:
+                      runtimes: tuple[str, ...], length: int,
+                      causal: bool = False) -> SweepResult:
     result = SweepResult(
         figure,
         f"{bench_name} benchmark: circuit-lock contention vs. receiving "
@@ -172,9 +201,12 @@ def _contention_sweep(figure: str, bench_name: str, fn, quick: bool,
     for kind in runtimes:
         series = result.new_series(kind)
         for n in counts:
-            rec = Recorder()
+            rec = Recorder(causal=causal)
             m = fn(n, length, messages=msgs, runtime=kind, recorder=rec)
             agg = rec.circuit_lock_stats()
+            extra = {}
+            if causal:
+                extra = _causal_extras(rec.causal)
             series.add(
                 n, 1e6 * agg.wait_seconds / msgs,
                 acquires=agg.acquires,
@@ -183,35 +215,95 @@ def _contention_sweep(figure: str, bench_name: str, fn, quick: bool,
                 max_wait_ms=round(1e3 * agg.max_wait, 3),
                 hold_ms=round(1e3 * agg.hold_seconds, 3),
                 throughput=round(m.throughput),
+                **extra,
             )
             result.recorders[(kind, n)] = rec
     result.note("sim waits are simulated seconds (deterministic); threads/"
                 "procs waits are wall-clock and vary run to run")
     result.note("paper's Figure 4 story: at small messages the per-circuit "
                 "lock serializes sender and receivers, so wait grows with N")
+    if causal:
+        result.note("causal extras per point: per-stage sojourn p50s and "
+                    "end-to-end p50/p95 (microseconds) on the busiest LNVC — "
+                    "resid_p50_us is queue wait (lock + scheduling), "
+                    "copyin/copyout are the two data copies")
     return result
 
 
 def fig4_contention(quick: bool = False,
-                    runtimes: tuple[str, ...] = ("sim", "procs")) -> SweepResult:
+                    runtimes: tuple[str, ...] = ("sim", "procs"),
+                    causal: bool = False) -> SweepResult:
     """Figure 4's mechanism, profiled: FCFS circuit-lock wait vs receivers.
 
     Runs the `fcfs` benchmark at 16-byte messages under a
     :class:`repro.obs.Recorder` on each requested runtime and reports the
-    per-message LNVC lock wait.  The returned result carries a
+    per-message LNVC lock wait.  ``causal=True`` adds per-message sojourn
+    latency columns (stage p50s, e2e p50/p95) from a
+    :class:`repro.obs.CausalTracer`.  The returned result carries a
     ``recorders`` dict keyed ``(runtime, n)`` for exporting full traces.
     Always serial: it keeps whole Recorder objects (not picklable cheap)
     and itself spawns a process runtime.
     """
     return _contention_sweep("Figure 4 (contention)", "fcfs",
-                             fcfs_throughput, quick, runtimes, length=16)
+                             fcfs_throughput, quick, runtimes, length=16,
+                             causal=causal)
 
 
 def fig5_contention(quick: bool = False,
-                    runtimes: tuple[str, ...] = ("sim", "procs")) -> SweepResult:
+                    runtimes: tuple[str, ...] = ("sim", "procs"),
+                    causal: bool = False) -> SweepResult:
     """Figure 5's counterpart: BROADCAST circuit-lock wait vs receivers."""
     return _contention_sweep("Figure 5 (contention)", "broadcast",
-                             broadcast_throughput, quick, runtimes, length=16)
+                             broadcast_throughput, quick, runtimes, length=16,
+                             causal=causal)
+
+
+def fig3_contention(quick: bool = False,
+                    runtimes: tuple[str, ...] = ("sim", "procs"),
+                    causal: bool = False) -> SweepResult:
+    """Figure 3's loop-back benchmark under the tracer, across runtimes.
+
+    Sweeps message *length* (the figure's x axis) instead of receiver
+    count; with ``causal=True`` the extras decompose each length's
+    per-message latency into allocation, the two copies, and queue
+    residency — the split behind the paper's claim that copy costs
+    dominate at large lengths.
+    """
+    result = SweepResult(
+        "Figure 3 (trace)",
+        "base benchmark: per-message latency vs. message length",
+        "bytes",
+        "LNVC lock wait per message (microseconds; sim: simulated, "
+        "threads/procs: wall-clock)",
+    )
+    lengths = (64, 1024) if quick else (16, 256, 1024, 2048)
+    msgs = 24 if quick else 64
+    result.recorders = {}
+    for kind in runtimes:
+        series = result.new_series(kind)
+        for length in lengths:
+            rec = Recorder(causal=causal)
+            m = base_throughput(length, messages=msgs, runtime=kind,
+                                recorder=rec)
+            agg = rec.circuit_lock_stats()
+            extra = {}
+            if causal:
+                extra = _causal_extras(rec.causal)
+            series.add(
+                length, 1e6 * agg.wait_seconds / msgs,
+                acquires=agg.acquires,
+                contended=agg.contended,
+                wait_ms=round(1e3 * agg.wait_seconds, 3),
+                throughput=round(m.throughput),
+                **extra,
+            )
+            result.recorders[(kind, length)] = rec
+    result.note("loop-back means the sender is its own receiver: lock wait "
+                "stays near zero, the causal stage split is the signal")
+    if causal:
+        result.note("causal extras per point: copyin/copyout p50 should grow "
+                    "linearly with length while alloc and residency stay flat")
+    return result
 
 
 def fig6(quick: bool = False, jobs: int = 1) -> SweepResult:
@@ -552,6 +644,7 @@ FIGURES: dict[str, Callable[..., SweepResult]] = {
 #: mechanism can be profiled with a Recorder across runtimes.  These stay
 #: serial (they keep live Recorder objects and spawn process runtimes).
 CONTENTION: dict[str, Callable[..., SweepResult]] = {
+    "fig3": fig3_contention,
     "fig4": fig4_contention,
     "fig5": fig5_contention,
 }

@@ -21,10 +21,10 @@ import argparse
 import sys
 import time
 
-from ..obs import read_decision_trace, write_decision_trace
+from ..obs import format_causal_tail, read_decision_trace, write_decision_trace
 from .replay import make_trace, minimize_trace, replay_trace
 from .scenarios import SCENARIOS
-from .scheduler import explore, explore_dfs, run_threads
+from .scheduler import PrefixPolicy, explore, explore_dfs, run_schedule, run_threads
 
 __all__ = ["main"]
 
@@ -164,9 +164,21 @@ def _explore(args) -> int:
               + (f" (seed {seed})" if seed is not None else "")
               + f": {outcome.status}")
         print(outcome.detail)
+        # Replay the failing decisions with lifecycle tracing on: the
+        # message history of the exact failing schedule (deterministic,
+        # so the replay reproduces it) reads next to the decision trace.
+        causal_out = run_schedule(
+            scenario, PrefixPolicy(outcome.decisions), fault=args.fault,
+            max_events=args.max_events, causal=True,
+        )
+        if causal_out.causal is not None and causal_out.causal.events:
+            print()
+            print("message lifecycle tail of the failing schedule:")
+            print(format_causal_tail(causal_out.causal))
         if args.trace:
             trace = make_trace(scenario, outcome, fault=args.fault,
-                               seed=seed, policy=args.policy)
+                               seed=seed, policy=args.policy,
+                               causal=causal_out.causal)
             if args.minimize:
                 trace, stats = minimize_trace(trace,
                                               max_events=args.max_events)

@@ -37,6 +37,7 @@ from ..core.ops import (  # noqa: F401  (private ops internals, on purpose)
     _L_FCFS_HEAD,
     _L_FIFO_HEAD,
     _L_FIFO_TAIL,
+    _L_GEN,
     _L_HWM_NMSGS,
     _L_N_BCAST,
     _L_N_FCFS,
@@ -102,6 +103,10 @@ def unlocked_send(view: MPFView, pid: int, lnvc_id: int, data: bytes) -> OpGen:
     bs = view.cfg.block_size
     length = len(data)
     nblk = (length + bs - 1) // bs
+    # Torn sends still report to the causal tracer: a failure's message
+    # history must include the very sends that corrupt the segment.
+    causal = view.causal
+    t_entry = causal.clock() if causal is not None else 0.0
 
     # Phase 1: allocation, correctly under the allocator lock.
     yield Acquire(ALLOC_LOCK)
@@ -159,6 +164,10 @@ def unlocked_send(view: MPFView, pid: int, lnvc_id: int, data: bytes) -> OpGen:
         set_u32(base + _L_HWM_NMSGS, depth)
     if u32(base + _L_FCFS_HEAD) == NIL:
         set_u32(base + _L_FCFS_HEAD, hdr)
+    if causal is not None:
+        t = causal.clock()
+        causal.on_send(pid, slot, u32(base + _L_GEN), seqno, length, nblk,
+                       depth, t_entry, t, t)
     yield Wake(slot)
     return seqno
 

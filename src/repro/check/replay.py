@@ -21,15 +21,29 @@ from .scheduler import Outcome, PrefixPolicy, run_schedule
 __all__ = ["make_trace", "replay_trace", "minimize_trace"]
 
 
+#: Cap on lifecycle events embedded in a trace file by ``make_trace``:
+#: enough for the failure neighborhood, bounded so trace files stay
+#: hand-readable.
+CAUSAL_TAIL_EVENTS = 200
+
+
 def make_trace(
     scenario: Scenario,
     outcome: Outcome,
     fault: str | None = None,
     seed: int | None = None,
     policy: str = "random",
+    causal=None,
 ) -> dict:
-    """Bundle a run's decisions with the metadata needed to redo it."""
-    return {
+    """Bundle a run's decisions with the metadata needed to redo it.
+
+    ``causal`` (a :class:`repro.obs.CausalTracer`, typically from a
+    ``run_schedule(..., causal=True)`` replay of the same decisions)
+    embeds the last :data:`CAUSAL_TAIL_EVENTS` message-lifecycle events
+    under a ``causal_events`` key — extra context replay tools ignore
+    (the format is tolerant of unknown keys) but humans read.
+    """
+    trace = {
         "format": 1,
         "scenario": scenario.name,
         "fault": fault,
@@ -40,6 +54,11 @@ def make_trace(
         "status": outcome.status,
         "detail": outcome.detail.splitlines()[0] if outcome.detail else "",
     }
+    if causal is not None and causal.events:
+        trace["causal_events"] = [
+            e.as_dict() for e in causal.events[-CAUSAL_TAIL_EVENTS:]
+        ]
+    return trace
 
 
 def _scenario_of(trace: dict) -> Scenario:

@@ -163,6 +163,10 @@ class Outcome:
     view: MPFView | None = None
     #: Steady-tier invariant evaluations performed during the run.
     steady_checks: int = 0
+    #: Causal tracer (``run_schedule(causal=True)``): the per-message
+    #: lifecycle record of this run, for printing next to the decision
+    #: trace when a schedule fails.
+    causal: object | None = None
 
     @property
     def failed(self) -> bool:
@@ -175,12 +179,17 @@ def run_schedule(
     fault: str | None = None,
     max_events: int = 50_000,
     check_steady: bool = True,
+    causal: bool = False,
 ) -> Outcome:
     """Run ``scenario`` once under ``policy``; classify what happened.
 
     Deterministic: the same scenario, fault, and policy decisions always
     produce the same outcome (the engine itself is deterministic; the
-    policy is the only source of variation).
+    policy is the only source of variation).  ``causal=True`` attaches a
+    :class:`repro.obs.CausalTracer` to the run's view — under
+    ``ZeroTimingModel`` the timestamps are all zero but the *event
+    order* is meaningful, so a failing schedule's message history reads
+    next to its decision trace.
     """
     cfg = scenario.cfg
     workers = scenario.build(fault)
@@ -197,6 +206,12 @@ def run_schedule(
         scheduler=ctl,
     )
     clock = lambda: engine.now  # noqa: E731
+    tracer = None
+    if causal:
+        from ..obs import CausalTracer
+
+        tracer = CausalTracer(clock=clock)
+        view.causal = tracer
     nprocs = len(workers)
     for rank, worker in enumerate(workers):
         engine.spawn(f"p{rank}", worker(Env(view, rank, nprocs, clock)))
@@ -207,6 +222,7 @@ def run_schedule(
             decisions=list(ctl.decisions), widths=list(ctl.widths),
             events=engine.stats.events, results=results, report=report,
             view=view, steady_checks=probe.checks if probe else 0,
+            causal=tracer,
         )
 
     try:

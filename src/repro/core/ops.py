@@ -188,6 +188,7 @@ class MPFView:
         "_check_walk",
         "_send_cache",
         "_recv_cache",
+        "causal",
     )
 
     def __init__(
@@ -236,6 +237,11 @@ class MPFView:
         # other views (processes) reshape the lists.
         self._send_cache: dict = {}
         self._recv_cache: dict = {}
+        #: Optional :class:`repro.obs.causal.CausalTracer` attached by a
+        #: runtime.  When set, the hot primitives call its hooks inline —
+        #: plain attribute-gated Python calls, never new effects, so the
+        #: simulated schedule is untouched by observation.
+        self.causal = None
 
     # -- names -------------------------------------------------------------
 
@@ -429,7 +435,7 @@ def _reap_head(view: MPFView, base: int) -> OpGen:
     set_u32(base + _L_FIFO_HEAD, head)
     if head == NIL:
         set_u32(base + _L_FIFO_TAIL, NIL)
-    r.add_u32(base + _L_NMSGS, -len(doomed))
+    depth_after = r.add_u32(base + _L_NMSGS, -len(doomed))
     # The shared FCFS head can never point *behind* the new physical head:
     # if it pointed at a reaped message, advance it to the first survivor
     # that is not FCFS-taken.
@@ -438,6 +444,17 @@ def _reap_head(view: MPFView, base: int) -> OpGen:
         set_u32(base + _L_FCFS_HEAD, _first_untaken(view, head))
     nblk = 0
     yield view._alloc_acq
+    causal = view.causal
+    if causal is not None:
+        # Header fields must be read before _free_chain overwrites the
+        # record's first word with the free-list link.
+        slot = view.layout.lnvc_slot(base)
+        gen = u32(base + _L_GEN)
+        depth = depth_after + len(doomed)
+        for msg in doomed:
+            depth -= 1
+            causal.on_free(u32(msg + _M_SENDER), slot, gen,
+                           u32(msg + _M_SEQNO), u32(msg + _M_LENGTH), depth)
     for msg in doomed:
         nblk += _free_chain(view, msg)
     yield view._alloc_rel
@@ -473,6 +490,15 @@ def _delete_lnvc(view: MPFView, slot: int) -> OpGen:
     nblk = 0
     if msgs:
         yield Acquire(ALLOC_LOCK)
+        causal = view.causal
+        if causal is not None:
+            cur_gen = LNVC.get(r, base, "gen")
+            depth = len(msgs)
+            for m in msgs:
+                depth -= 1
+                causal.on_free(MSG.get(r, m, "sender"), slot, cur_gen,
+                               MSG.get(r, m, "seqno"),
+                               MSG.get(r, m, "length"), depth, discard=1)
         for m in msgs:
             nblk += _free_chain(view, m)
         yield Release(ALLOC_LOCK)
@@ -766,6 +792,8 @@ def message_send(
     bs = view.cfg.block_size
     length = len(data)
     nblk = (length + bs - 1) // bs
+    causal = view.causal
+    t_entry = causal.clock() if causal is not None else 0.0
     if prelude is None:
         yield view._send_fixed
     else:
@@ -774,7 +802,8 @@ def message_send(
     # Phase 1: allocation.  Blocks are private until linked, so only the
     # free lists need the allocator lock.
     yield view._alloc_acq
-    hdr = fl_alloc(r, _H_FREE_MSG)
+    hdr = fl_alloc(r, _H_FREE_MSG,
+                   causal.on_pool if causal is not None else None)
     if hdr == NIL:
         yield from _release_and_raise(
             [ALLOC_LOCK], OutOfMessageMemoryError("message header pool exhausted")
@@ -788,11 +817,15 @@ def message_send(
         blk = u32(blk + BLK_NEXT)
     if len(blocks) < nblk:
         fl_free(r, _H_FREE_MSG, hdr)
+        if causal is not None:
+            causal.on_pool(_H_FREE_BLK, NIL)
         yield from _release_and_raise(
             [ALLOC_LOCK],
             OutOfMessageMemoryError(f"block pool exhausted ({nblk}-block message)"),
         )
     set_u32(_H_FREE_BLK, blk)
+    if causal is not None:
+        causal.on_pool_bulk(_H_FREE_BLK, nblk)
     r.add_u32(_H_LIVE_MSGS, 1)
     r.add_u32(_H_LIVE_BLOCKS, nblk)
     live = r.add_u32(_H_LIVE_BYTES, length)
@@ -803,6 +836,7 @@ def message_send(
         r.set_u64(_H_HWM_LIVE_MSGS, live_msgs)
     yield Charge(Work(instrs=(nblk + 1) * c.blk_alloc, label="send-alloc"))
     yield view._alloc_rel
+    t_alloc = causal.clock() if causal is not None else 0.0
 
     # Phase 2: fill the private chain — outside every lock.
     write = r.write
@@ -819,6 +853,7 @@ def message_send(
             label="send-copy",
         )
     )
+    t_fill = causal.clock() if causal is not None else 0.0
 
     # Phase 3: link at the FIFO tail under the circuit lock.
     slot = lnvc_id & _SLOT_MASK
@@ -901,6 +936,9 @@ def message_send(
             label="send-link",
         )
     )
+    if causal is not None:
+        causal.on_send(pid, slot, gen, seqno, length, nblk, depth,
+                       t_entry, t_alloc, t_fill)
     yield view._rel[slot] if in_table else Release(lock)
     yield view._wake[slot] if in_table else Wake(slot)
     return seqno
@@ -925,6 +963,8 @@ def message_receive(
     u32 = r.u32
     set_u32 = r.set_u32
     c = view.costs
+    causal = view.causal
+    t_entry = causal.clock() if causal is not None else 0.0
     yield view._recv_fixed
     slot = lnvc_id & _SLOT_MASK
     gen = lnvc_id >> SLOT_BITS
@@ -995,6 +1035,9 @@ def message_receive(
     r.add_u32(desc + _R_NREADS, 1)
     nblk = u32(msg + _M_NBLOCKS)
     first = u32(msg + _M_FIRST_BLK)
+    if causal is not None:
+        t_claim = causal.clock()
+        claimed_seqno = u32(msg + _M_SEQNO)
     yield view._rel[slot] if in_table else Release(lock)
 
     # Copy phase — concurrent with other receivers of the same message.
@@ -1016,6 +1059,7 @@ def message_receive(
             label="recv-copy",
         )
     )
+    t_drain = causal.clock() if causal is not None else 0.0
 
     # Completion: drop the busy pin, account the read, retire and reap.
     yield view._acq[slot] if in_table else Acquire(lock)
@@ -1028,6 +1072,9 @@ def message_receive(
     r.add_u64(_H_TOTAL_RECEIVES, 1)
     r.add_u64(_H_TOTAL_BYTES_RECEIVED, length)
     yield view._rel[slot] if in_table else Release(lock)
+    if causal is not None:
+        causal.on_recv(pid, slot, gen, claimed_seqno, length, is_fcfs,
+                       t_entry, t_claim, t_drain)
     return payload
 
 

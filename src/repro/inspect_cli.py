@@ -19,6 +19,12 @@ schedule leaves behind — the same inspector, pointed at a reproduced
 bug instead of a live segment::
 
     mpf-inspect --replay fail.json
+
+``--flow`` adds the message flow graph (pid -> LNVC -> pid) in Graphviz
+DOT, built from queue state and connection read counts for a live
+segment, or from the full lifecycle trace for a replay::
+
+    mpf-inspect myapp --flow | dot -Tsvg > flow.svg
 """
 
 from __future__ import annotations
@@ -50,10 +56,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--message-pool-bytes", type=int, default=1 << 20)
     parser.add_argument("--ext-slots", type=int, default=0)
     parser.add_argument("--ext-bytes", type=int, default=0)
+    parser.add_argument("--flow", action="store_true",
+                        help="also print the message flow graph "
+                             "(pid -> LNVC -> pid) as Graphviz DOT")
     args = parser.parse_args(argv)
 
     if args.replay is not None:
-        return _replay(args.replay)
+        return _replay(args.replay, flow=args.flow)
     if args.name is None:
         parser.error("a segment name is required (or use --replay TRACE)")
 
@@ -81,7 +90,13 @@ def main(argv: list[str] | None = None) -> int:
     try:
         layout = check_region(region, cfg)
         view = MPFView(region, layout)
-        print(render_segment(inspect_segment(view)))
+        info = inspect_segment(view)
+        print(render_segment(info))
+        if args.flow:
+            from .obs import flow_dot, flow_from_segment
+
+            print()
+            print(flow_dot(flow_from_segment(info)))
         return 0
     except Exception as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -91,9 +106,10 @@ def main(argv: list[str] | None = None) -> int:
         shm.close()
 
 
-def _replay(path: str) -> int:
+def _replay(path: str, flow: bool = False) -> int:
     """Re-run a recorded schedule and dump the segment it produces."""
-    from .check.replay import replay_trace
+    from .check.scenarios import SCENARIOS
+    from .check.scheduler import PrefixPolicy, run_schedule
     from .obs import read_decision_trace
 
     try:
@@ -101,7 +117,16 @@ def _replay(path: str) -> int:
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    outcome = replay_trace(trace)
+    name = trace.get("scenario")
+    if name not in SCENARIOS:
+        print(f"error: trace names unknown scenario {name!r}", file=sys.stderr)
+        return 2
+    # Re-run through run_schedule directly (not replay_trace) so --flow
+    # can trace the replay's message lifecycles.
+    outcome = run_schedule(
+        SCENARIOS[name], PrefixPolicy(trace["decisions"]),
+        fault=trace.get("fault"), causal=flow,
+    )
     print(f"replayed {trace['scenario']}"
           + (f" fault={trace['fault']}" if trace.get("fault") else "")
           + f": {outcome.status} ({outcome.events} events)")
@@ -109,6 +134,11 @@ def _replay(path: str) -> int:
         print(outcome.detail)
     print()
     print(render_segment(inspect_segment(outcome.view)))
+    if flow and outcome.causal is not None:
+        from .obs import flow_dot, flow_from_causal
+
+        print()
+        print(flow_dot(flow_from_causal(outcome.causal)))
     return 0 if outcome.status == trace["status"] else 1
 
 

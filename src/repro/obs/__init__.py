@@ -30,6 +30,19 @@ Attach a recorder with the runtime's ``recorder=`` parameter::
 See docs/observability.md for the full guide.
 """
 
+from .causal import (
+    CausalTracer,
+    MsgEvent,
+    busiest_lnvc,
+    causal_async_events,
+    detect_stalls,
+    format_causal_tail,
+    format_sojourn,
+    pair_deliveries,
+    peak_depth,
+    queue_depth_timeline,
+    sojourn_stats,
+)
 from .events import EffectLog, TraceEvent
 from .export import (
     chrome_trace,
@@ -41,6 +54,15 @@ from .export import (
     write_decision_trace,
     write_jsonl,
 )
+from .flow import (
+    FlowGraph,
+    check_dot,
+    flow_dot,
+    flow_from_causal,
+    flow_from_segment,
+    flow_json,
+)
+from .prom import parse_exposition, prometheus_exposition
 from .recorder import Histogram, LockStats, Recorder, Span, WorkStats, lock_name
 
 __all__ = [
@@ -52,6 +74,25 @@ __all__ = [
     "WorkStats",
     "Histogram",
     "lock_name",
+    "CausalTracer",
+    "MsgEvent",
+    "busiest_lnvc",
+    "causal_async_events",
+    "detect_stalls",
+    "format_causal_tail",
+    "format_sojourn",
+    "pair_deliveries",
+    "peak_depth",
+    "queue_depth_timeline",
+    "sojourn_stats",
+    "FlowGraph",
+    "check_dot",
+    "flow_dot",
+    "flow_from_causal",
+    "flow_from_segment",
+    "flow_json",
+    "parse_exposition",
+    "prometheus_exposition",
     "format_lock_profile",
     "format_summary",
     "to_jsonl",

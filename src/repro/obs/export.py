@@ -88,6 +88,12 @@ def format_summary(rec: "Recorder") -> str:
             krows.append([p] + [str(c.get(k, 0)) for k in
                                 ("Acquire", "Release", "Charge", "WaitOn", "Wake")])
         parts.append(_table(krows))
+    if rec.dropped_spans:
+        parts.append(
+            f"(!) {rec.dropped_spans} of {rec.total} spans dropped "
+            f"(limit {rec.limit}) — span-based exports are truncated; "
+            f"the counters above remain complete"
+        )
     return "\n\n".join(parts) if parts else "(nothing recorded)"
 
 
@@ -129,7 +135,9 @@ def chrome_trace(rec: "Recorder") -> dict:
             "pid": 0,
             "tid": tids[s.process],
             "cat": s.kind,
-            "name": names[s.kind].format(n=s.name),
+            # Unknown kinds fall back to the bare name instead of a
+            # KeyError, so an exporter never rejects a newer recorder.
+            "name": names.get(s.kind, "{n}").format(n=s.name),
         }
         if dur_us > 0:
             ev.update(ph="X", ts=round(end_us - dur_us, 3),
@@ -139,12 +147,21 @@ def chrome_trace(rec: "Recorder") -> dict:
         if s.kind == "wake":
             ev["args"] = {"woken": s.value}
         events.append(ev)
+    other = {"clock": rec.clock,
+             "spans_recorded": len(rec.spans),
+             "spans_dropped": rec.dropped_spans,
+             "spans_total": rec.total}
+    causal = getattr(rec, "causal", None)
+    if causal is not None and causal.events:
+        from .causal import causal_async_events
+
+        events.extend(causal_async_events(causal))
+        other["causal_events"] = len(causal.events)
+        other["causal_dropped"] = causal.dropped
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": {"clock": rec.clock,
-                      "spans_recorded": len(rec.spans),
-                      "spans_total": rec.total},
+        "otherData": other,
     }
 
 

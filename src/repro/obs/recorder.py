@@ -176,23 +176,40 @@ class Recorder:
     """Portable observability hooks; pass to any runtime.
 
     ``limit`` bounds the structured span list exactly as the Tracer's
-    event limit does: counters keep counting, span recording stops.
+    event limit does: counters keep counting, span recording stops, and
+    :attr:`dropped_spans` counts what was not stored so truncated traces
+    are never silently read as complete.
     ``clock`` names the timebase the producing runtime used (``"sim"``
     or ``"wall"``); runtimes set it at the start of a run.
+    ``causal=True`` additionally attaches a
+    :class:`~repro.obs.causal.CausalTracer` (or pass a pre-built tracer
+    instance): the runtimes hand it to the ops layer, which records one
+    lifecycle event per message send/receive/free.
     """
 
-    def __init__(self, limit: int = 100_000) -> None:
+    def __init__(self, limit: int = 100_000, causal=False) -> None:
         self.limit = limit
         self.clock = "wall"
         self.spans: list[Span] = []
         #: Total spans seen, including those past ``limit``.
         self.total = 0
+        #: Spans not stored because ``limit`` was reached; the invariant
+        #: ``total == len(spans) + dropped_spans`` always holds.
+        self.dropped_spans = 0
         self.locks: dict[int, LockStats] = {}
         self.work: dict[str, WorkStats] = {}
         self.kinds: dict[str, Counter] = {}
         self.chan_waits: Counter = Counter()
         self.chan_wait_seconds: float = 0.0
         self._merge_mutex = threading.Lock()
+        if causal:
+            from .causal import CausalTracer
+
+            self.causal = causal if isinstance(causal, CausalTracer) \
+                else CausalTracer()
+        else:
+            #: Optional :class:`~repro.obs.causal.CausalTracer`.
+            self.causal = None
 
     # -- hooks called by runtimes ---------------------------------------------
 
@@ -200,6 +217,8 @@ class Recorder:
         self.total += 1
         if len(self.spans) < self.limit:
             self.spans.append(span)
+        else:
+            self.dropped_spans += 1
 
     def _count(self, process: str, kind: str) -> None:
         try:
@@ -317,9 +336,19 @@ class Recorder:
     # -- merge across workers / processes ---------------------------------------
 
     def child(self) -> "Recorder":
-        """A fresh recorder for one worker; merge its snapshot when done."""
+        """A fresh recorder for one worker; merge its snapshot when done.
+
+        When this recorder carries a causal tracer the child gets its own
+        fresh tracer (same limit), so per-worker causal events can ride
+        home inside the child's picklable snapshot — how causal traces
+        cross the :class:`~repro.runtime.procs.ProcRuntime` fork.
+        """
         rec = Recorder(limit=self.limit)
         rec.clock = self.clock
+        if self.causal is not None:
+            from .causal import CausalTracer
+
+            rec.causal = CausalTracer(limit=self.causal.limit)
         return rec
 
     def snapshot(self) -> dict:
@@ -327,21 +356,27 @@ class Recorder:
         return {
             "clock": self.clock,
             "total": self.total,
+            "dropped_spans": self.dropped_spans,
             "spans": [s.as_dict() for s in self.spans],
             "locks": {lid: ls.as_dict() for lid, ls in self.locks.items()},
             "work": {label: ws.as_dict() for label, ws in self.work.items()},
             "kinds": {p: dict(c) for p, c in self.kinds.items()},
             "chan_waits": dict(self.chan_waits),
             "chan_wait_seconds": self.chan_wait_seconds,
+            "causal": None if self.causal is None else self.causal.snapshot(),
         }
 
     def merge(self, snap: dict) -> None:
         """Fold a :meth:`snapshot` into this recorder (thread-safe)."""
         with self._merge_mutex:
             self.total += snap["total"]
+            spans = snap["spans"]
             room = self.limit - len(self.spans)
-            if room > 0:
-                self.spans.extend(Span(**d) for d in snap["spans"][:room])
+            fitted = min(len(spans), room) if room > 0 else 0
+            self.spans.extend(Span(**d) for d in spans[:fitted])
+            self.dropped_spans += (
+                snap.get("dropped_spans", 0) + (len(spans) - fitted)
+            )
             for lid, d in snap["locks"].items():
                 lid = int(lid)
                 ls = self.locks.get(lid)
@@ -360,6 +395,14 @@ class Recorder:
                     self.kinds[p] = Counter(c)
             self.chan_waits.update(snap["chan_waits"])
             self.chan_wait_seconds += snap["chan_wait_seconds"]
+            causal_snap = snap.get("causal")
+            if causal_snap is not None:
+                if self.causal is None:
+                    from .causal import CausalTracer
+
+                    self.causal = CausalTracer(
+                        limit=causal_snap.get("limit", 200_000))
+                self.causal.merge(causal_snap)
 
     # -- exporters (implemented in repro.obs.export) -----------------------------
 
@@ -396,3 +439,9 @@ class Recorder:
         from .export import write_chrome_trace
 
         write_chrome_trace(self, path)
+
+    def prometheus(self) -> str:
+        """Metrics (and causal aggregates, if traced) as Prometheus text."""
+        from .prom import prometheus_exposition
+
+        return prometheus_exposition(self)

@@ -73,6 +73,13 @@ class BlockingMPF:
         self.recorder = recorder
         #: Process label used in recorded metrics; defaults to ``p<pid>``.
         self.process = process or f"p{pid}"
+        causal = getattr(recorder, "causal", None)
+        if causal is not None:
+            # A causal recorder makes this client's view emit lifecycle
+            # events (wall clock).  One tracer serves the whole segment
+            # in this process; clients of one segment should share a
+            # recorder — the last attached tracer wins otherwise.
+            self.view.causal = causal
 
     def _drive(self, gen) -> object:
         return drive(gen, self.sync, recorder=self.recorder,

@@ -79,6 +79,13 @@ class ProcRuntime(Runtime):
             def body(name: str, rank: int, worker: Worker) -> None:
                 env = Env(view, rank, nprocs, clock)
                 rec = self.recorder.child() if recording else None
+                if rec is not None and rec.causal is not None:
+                    # Post-fork the view object is this process's private
+                    # copy, so attaching the child's tracer here records
+                    # only this worker's lifecycle events; they ride home
+                    # inside the child snapshot like every other metric.
+                    rec.causal.clock = clock
+                    view.causal = rec.causal
                 try:
                     value = drive(worker(env), sync, recorder=rec,
                                   process=name, clock=clock)

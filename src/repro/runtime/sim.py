@@ -78,6 +78,13 @@ class SimRuntime(Runtime):
             recorder=self.recorder,
         )
         clock = lambda: engine.now  # noqa: E731 - tiny closure
+        causal = getattr(self.recorder, "causal", None)
+        if causal is not None:
+            # Causal hooks are inline calls in the ops generators (no
+            # effects), so attaching the tracer reads the simulated clock
+            # without ever perturbing the simulated schedule.
+            causal.clock = clock
+            view.causal = causal
         for rank, (name, worker) in enumerate(zip(names, workers)):
             env = Env(view, rank, nprocs, clock)
             engine.spawn(name, worker(env))

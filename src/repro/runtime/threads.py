@@ -261,6 +261,14 @@ class ThreadRuntime(Runtime):
         locals_: dict[str, object] = {}
         if self.recorder is not None:
             self.recorder.clock = "wall"
+            causal = getattr(self.recorder, "causal", None)
+            if causal is not None:
+                # One shared tracer on the shared view: list appends are
+                # GIL-atomic, and the parent tracer receiving events
+                # directly means the (empty) child tracers merge as
+                # no-ops after the join.
+                causal.clock = clock
+                view.causal = causal
 
         states = {name: ThreadState() for name in names}
 

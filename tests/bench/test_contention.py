@@ -47,7 +47,7 @@ def test_lnvc_wait_grows_with_receivers_sim():
 
 
 def test_contention_registry_and_result_shape():
-    assert set(CONTENTION) == {"fig4", "fig5"}
+    assert set(CONTENTION) == {"fig3", "fig4", "fig5"}
     result = fig4_contention(quick=True, runtimes=("sim",))
     assert isinstance(result, SweepResult)
     (series,) = result.series
@@ -87,7 +87,7 @@ def test_trace_cli_prints_profile_and_writes_exports(tmp_path, capsys):
 
 def test_trace_cli_rejects_unknown_figure(capsys):
     with pytest.raises(SystemExit):
-        main(["trace", "fig3"])
+        main(["trace", "fig9"])
     assert "invalid choice" in capsys.readouterr().err
 
 
