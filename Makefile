@@ -27,8 +27,11 @@ check:
 	$(PY) -m repro.check explore --scenario connect-churn --seeds 200
 	$(PY) -m repro.check explore --scenario freelist-churn --seeds 200
 	$(PY) -m repro.check explore --scenario mixed-protocol --seeds 200
+	$(PY) -m repro.check explore --scenario ring-wrap --seeds 200
+	$(PY) -m repro.check explore --scenario ring-wrap --seeds 200 --policy dfs
 	$(PY) -m repro.check explore --scenario fcfs-race --seeds 200 --fault torn-send --expect-fail
 	$(PY) -m repro.check explore --scenario mixed-protocol --seeds 50 --fault drop-wake --expect-fail
+	$(PY) -m repro.check explore --scenario ring-wrap --seeds 50 --fault drop-wake --expect-fail
 	$(PY) -m repro.check explore --scenario fcfs-race --runtime threads --repeats 10
 
 # Causal-tracing smoke: run the fig4 contention sweep with per-message

@@ -7,9 +7,13 @@ Usage::
     python -m repro.bench all --jobs 4     # parallel point runners
     python -m repro.bench all --quick      # reduced sweeps
     python -m repro.bench fig6 --json out.json
+    python -m repro.bench fig4 --transport ring   # ring instead of free list
 
 Each figure prints the table of series the paper plots; ``--json``
-archives the raw points.  ``--jobs N`` measures sweep points on a pool
+archives the raw points.  ``--transport ring`` reruns the workload
+figures (fig3-fig6) over the ring transport (docs/transport.md); the
+dedicated head-to-head entries are ``ablation_transport_fcfs`` /
+``_bcast`` / ``_random``.  ``--jobs N`` measures sweep points on a pool
 of N worker processes; every point is an independent deterministic
 simulation and results are reassembled in sweep order, so the output is
 byte-identical to a serial run.  ``--timings PATH`` archives per-figure
@@ -72,6 +76,11 @@ def trace_main(argv: list[str]) -> int:
         "--quick", action="store_true", help="reduced sweeps (for CI)"
     )
     parser.add_argument(
+        "--transport", default="freelist", choices=("freelist", "ring"),
+        help="payload transport for every circuit of the profiled "
+        "workload (default: freelist, the paper's path)",
+    )
+    parser.add_argument(
         "--runtime", action="append", dest="runtimes",
         choices=("sim", "threads", "procs"), metavar="KIND",
         help="runtime(s) to profile on: sim, threads or procs "
@@ -114,7 +123,8 @@ def trace_main(argv: list[str]) -> int:
     kinds = tuple(args.runtimes) if args.runtimes else ("sim", "procs")
 
     t0 = time.perf_counter()
-    result = CONTENTION[args.figure](args.quick, kinds, causal=args.causal)
+    result = CONTENTION[args.figure](args.quick, kinds, causal=args.causal,
+                                     transport=args.transport)
     wall = time.perf_counter() - t0
     print(result.format_table())
     print()
@@ -249,6 +259,12 @@ def main(argv: list[str] | None = None) -> int:
         "serial; output is identical either way)",
     )
     parser.add_argument(
+        "--transport", default="freelist", choices=("freelist", "ring"),
+        help="payload transport for figures that sweep an MPF workload "
+        "(fig3-fig6; other figures ignore it); default: freelist, "
+        "the paper's path",
+    )
+    parser.add_argument(
         "--timings", metavar="PATH",
         help="write per-figure wall seconds as JSON",
     )
@@ -261,12 +277,19 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown figure(s): {', '.join(unknown)}")
 
+    import inspect as _inspect
+
     outputs = []
     timings: dict[str, float] = {}
     total0 = time.perf_counter()
     for name in names:
+        kwargs = {}
+        if "transport" in _inspect.signature(FIGURES[name]).parameters:
+            kwargs["transport"] = args.transport
+        elif args.transport != "freelist":
+            print(f"({name} has no transport knob; running as-is)")
         t0 = time.perf_counter()
-        result = FIGURES[name](args.quick, args.jobs)
+        result = FIGURES[name](args.quick, args.jobs, **kwargs)
         wall = time.perf_counter() - t0
         timings[name] = round(wall, 2)
         print(result.format_table())

@@ -57,6 +57,9 @@ __all__ = [
     "ablation_block",
     "ablation_paging",
     "ablation_cache",
+    "ablation_transport_fcfs",
+    "ablation_transport_bcast",
+    "ablation_transport_random",
     "study_paradigm",
     "FIGURES",
     "CONTENTION",
@@ -92,24 +95,26 @@ def _causal_extras(tracer) -> dict:
     }
 
 
-def _fig3_point(msgs: int, length: int, causal: bool = False) -> tuple[float, dict]:
+def _fig3_point(msgs: int, length: int, causal: bool = False,
+                transport: str = "freelist") -> tuple[float, dict]:
     # With causal=True a tracer rides along (limit=0 skips span
     # recording) but the returned point is unchanged: the acceptance
     # check that traced fig3 output is byte-identical to untraced.
     rec = Recorder(limit=0, causal=True) if causal else None
-    m = base_throughput(length, messages=msgs, recorder=rec)
+    m = base_throughput(length, messages=msgs, recorder=rec,
+                        transport=transport)
     return m.throughput, {}
 
 
 def _receiver_point(fn, length: int, msgs: int, contention: bool,
-                    n: int) -> tuple[float, dict]:
+                    n: int, transport: str = "freelist") -> tuple[float, dict]:
     extra = {}
     rec = None
     if contention:
         # Counters only (limit=0 skips span recording); the circuit-lock
         # aggregate becomes the row's extras.
         rec = Recorder(limit=0)
-    m = fn(n, length, messages=msgs, recorder=rec)
+    m = fn(n, length, messages=msgs, recorder=rec, transport=transport)
     if rec is not None:
         agg = rec.circuit_lock_stats()
         extra = {
@@ -120,8 +125,9 @@ def _receiver_point(fn, length: int, msgs: int, contention: bool,
     return m.throughput, extra
 
 
-def _fig6_point(msgs: int, length: int, p: int) -> tuple[float, dict]:
-    m = random_throughput(p, length, messages=msgs)
+def _fig6_point(msgs: int, length: int, p: int,
+                transport: str = "freelist") -> tuple[float, dict]:
+    m = random_throughput(p, length, messages=msgs, transport=transport)
     return m.throughput, {"faults": m.run.report.page_faults}
 
 
@@ -133,7 +139,8 @@ def _fig8_point(m: int, iters: int, n: int) -> tuple[float, dict]:
     return sor_per_iteration_speedup(m, n, iterations=iters), {}
 
 
-def fig3(quick: bool = False, jobs: int = 1, causal: bool = False) -> SweepResult:
+def fig3(quick: bool = False, jobs: int = 1, causal: bool = False,
+         transport: str = "freelist") -> SweepResult:
     """Figure 3: base benchmark, loop-back throughput vs message length."""
     result = SweepResult(
         "Figure 3", "Base benchmark: throughput vs. message length",
@@ -141,14 +148,18 @@ def fig3(quick: bool = False, jobs: int = 1, causal: bool = False) -> SweepResul
     )
     lengths = (64, 256, 1024, 2048) if quick else (16, 64, 128, 256, 512, 768, 1024, 1536, 2048)
     msgs = 24 if quick else 64
-    run_series(result, "base", lengths, partial(_fig3_point, msgs, causal=causal),
+    run_series(result, "base", lengths,
+               partial(_fig3_point, msgs, causal=causal, transport=transport),
                jobs=jobs)
     result.note("paper: rises toward a ~22-25 KB/s asymptote; memory/copy bound")
+    if transport != "freelist":
+        result.note(f"transport: {transport} (not the paper's free-list path)")
     return result
 
 
 def _receiver_sweep(kind: str, fn, quick: bool, jobs: int,
-                    contention: bool = False) -> SweepResult:
+                    contention: bool = False,
+                    transport: str = "freelist") -> SweepResult:
     result = SweepResult(
         "Figure 4" if kind == "fcfs" else "Figure 5",
         f"{kind} benchmark: throughput vs. receiving processes",
@@ -159,16 +170,20 @@ def _receiver_sweep(kind: str, fn, quick: bool, jobs: int,
     for length in (16, 128, 1024):
         run_series(
             result, f"{length}B", counts,
-            partial(_receiver_point, fn, length, msgs, contention),
+            partial(_receiver_point, fn, length, msgs, contention,
+                    transport=transport),
             jobs=jobs,
         )
+    if transport != "freelist":
+        result.note(f"transport: {transport} (not the paper's free-list path)")
     return result
 
 
-def fig4(quick: bool = False, jobs: int = 1) -> SweepResult:
+def fig4(quick: bool = False, jobs: int = 1,
+         transport: str = "freelist") -> SweepResult:
     """Figure 4: one sender, N FCFS receivers."""
     result = _receiver_sweep("fcfs", fcfs_throughput, quick, jobs,
-                             contention=True)
+                             contention=True, transport=transport)
     result.note("paper: 1024B roughly flat ~40-50 KB/s; small messages decline "
                 "with receivers (LNVC lock contention)")
     result.note("extras per point: lnvc_wait_ms (total simulated ms spent "
@@ -176,9 +191,11 @@ def fig4(quick: bool = False, jobs: int = 1) -> SweepResult:
     return result
 
 
-def fig5(quick: bool = False, jobs: int = 1) -> SweepResult:
+def fig5(quick: bool = False, jobs: int = 1,
+         transport: str = "freelist") -> SweepResult:
     """Figure 5: one sender, N BROADCAST receivers."""
-    result = _receiver_sweep("broadcast", broadcast_throughput, quick, jobs)
+    result = _receiver_sweep("broadcast", broadcast_throughput, quick, jobs,
+                             transport=transport)
     result.note("paper: near-linear scaling; 687,245 B/s at 16 receivers x 1024B "
                 "(concurrent receive copies)")
     return result
@@ -186,7 +203,8 @@ def fig5(quick: bool = False, jobs: int = 1) -> SweepResult:
 
 def _contention_sweep(figure: str, bench_name: str, fn, quick: bool,
                       runtimes: tuple[str, ...], length: int,
-                      causal: bool = False) -> SweepResult:
+                      causal: bool = False,
+                      transport: str = "freelist") -> SweepResult:
     result = SweepResult(
         figure,
         f"{bench_name} benchmark: circuit-lock contention vs. receiving "
@@ -202,7 +220,8 @@ def _contention_sweep(figure: str, bench_name: str, fn, quick: bool,
         series = result.new_series(kind)
         for n in counts:
             rec = Recorder(causal=causal)
-            m = fn(n, length, messages=msgs, runtime=kind, recorder=rec)
+            m = fn(n, length, messages=msgs, runtime=kind, recorder=rec,
+                   transport=transport)
             agg = rec.circuit_lock_stats()
             extra = {}
             if causal:
@@ -222,6 +241,8 @@ def _contention_sweep(figure: str, bench_name: str, fn, quick: bool,
                 "procs waits are wall-clock and vary run to run")
     result.note("paper's Figure 4 story: at small messages the per-circuit "
                 "lock serializes sender and receivers, so wait grows with N")
+    if transport != "freelist":
+        result.note(f"transport: {transport} (not the paper's free-list path)")
     if causal:
         result.note("causal extras per point: per-stage sojourn p50s and "
                     "end-to-end p50/p95 (microseconds) on the busiest LNVC — "
@@ -232,7 +253,8 @@ def _contention_sweep(figure: str, bench_name: str, fn, quick: bool,
 
 def fig4_contention(quick: bool = False,
                     runtimes: tuple[str, ...] = ("sim", "procs"),
-                    causal: bool = False) -> SweepResult:
+                    causal: bool = False,
+                    transport: str = "freelist") -> SweepResult:
     """Figure 4's mechanism, profiled: FCFS circuit-lock wait vs receivers.
 
     Runs the `fcfs` benchmark at 16-byte messages under a
@@ -246,21 +268,23 @@ def fig4_contention(quick: bool = False,
     """
     return _contention_sweep("Figure 4 (contention)", "fcfs",
                              fcfs_throughput, quick, runtimes, length=16,
-                             causal=causal)
+                             causal=causal, transport=transport)
 
 
 def fig5_contention(quick: bool = False,
                     runtimes: tuple[str, ...] = ("sim", "procs"),
-                    causal: bool = False) -> SweepResult:
+                    causal: bool = False,
+                    transport: str = "freelist") -> SweepResult:
     """Figure 5's counterpart: BROADCAST circuit-lock wait vs receivers."""
     return _contention_sweep("Figure 5 (contention)", "broadcast",
                              broadcast_throughput, quick, runtimes, length=16,
-                             causal=causal)
+                             causal=causal, transport=transport)
 
 
 def fig3_contention(quick: bool = False,
                     runtimes: tuple[str, ...] = ("sim", "procs"),
-                    causal: bool = False) -> SweepResult:
+                    causal: bool = False,
+                    transport: str = "freelist") -> SweepResult:
     """Figure 3's loop-back benchmark under the tracer, across runtimes.
 
     Sweeps message *length* (the figure's x axis) instead of receiver
@@ -284,7 +308,7 @@ def fig3_contention(quick: bool = False,
         for length in lengths:
             rec = Recorder(causal=causal)
             m = base_throughput(length, messages=msgs, runtime=kind,
-                                recorder=rec)
+                                recorder=rec, transport=transport)
             agg = rec.circuit_lock_stats()
             extra = {}
             if causal:
@@ -300,13 +324,16 @@ def fig3_contention(quick: bool = False,
             result.recorders[(kind, length)] = rec
     result.note("loop-back means the sender is its own receiver: lock wait "
                 "stays near zero, the causal stage split is the signal")
+    if transport != "freelist":
+        result.note(f"transport: {transport} (not the paper's free-list path)")
     if causal:
         result.note("causal extras per point: copyin/copyout p50 should grow "
                     "linearly with length while alloc and residency stay flat")
     return result
 
 
-def fig6(quick: bool = False, jobs: int = 1) -> SweepResult:
+def fig6(quick: bool = False, jobs: int = 1,
+         transport: str = "freelist") -> SweepResult:
     """Figure 6: fully connected random traffic, throughput vs processes."""
     result = SweepResult(
         "Figure 6", "Random benchmark: throughput vs. processes",
@@ -317,9 +344,12 @@ def fig6(quick: bool = False, jobs: int = 1) -> SweepResult:
     lengths = (8, 256, 1024) if quick else (1, 8, 64, 256, 1024)
     for length in lengths:
         run_series(result, f"{length}B", procs,
-                   partial(_fig6_point, msgs, length), jobs=jobs)
+                   partial(_fig6_point, msgs, length, transport=transport),
+                   jobs=jobs)
     result.note("paper: grows with processes at decreasing slope; 1024B bends "
                 "down past ~10 processes (paging), 256B only near 20")
+    if transport != "freelist":
+        result.note(f"transport: {transport} (not the paper's free-list path)")
     return result
 
 
@@ -593,6 +623,107 @@ def ablation_cache(quick: bool = False, jobs: int = 1) -> SweepResult:
     return result
 
 
+def _transport_point(fn, length: int, msgs: int, transport: str,
+                     n: int) -> tuple[float, dict]:
+    """One head-to-head point: throughput plus the lock-wait and causal
+    latency columns that explain it (simulator only)."""
+    rec = Recorder(limit=0, causal=True)
+    m = fn(n, length, messages=msgs, recorder=rec, transport=transport)
+    agg = rec.circuit_lock_stats()
+    extra = {
+        "lnvc_wait_ms": round(1e3 * agg.wait_seconds, 3),
+        "lnvc_contended": agg.contended,
+        "lnvc_acquires": agg.acquires,
+        **_causal_extras(rec.causal),
+    }
+    return m.throughput, extra
+
+
+def _transport_random_point(msgs: int, length: int, transport: str,
+                            p: int) -> tuple[float, dict]:
+    m = random_throughput(p, length, messages=msgs, transport=transport)
+    return m.throughput, {"faults": m.run.report.page_faults}
+
+
+def _transport_sweep(figure: str, title: str, fn, quick: bool,
+                     jobs: int, lengths: tuple[int, ...]) -> SweepResult:
+    result = SweepResult(
+        figure, title,
+        "receivers", "throughput (bytes/second of simulated time)",
+    )
+    counts = (1, 4, 8, 16) if quick else (1, 2, 4, 8, 12, 16)
+    msgs = 32 if quick else 96
+    for length in lengths:
+        for transport in ("freelist", "ring"):
+            run_series(
+                result, f"{length}B {transport}", counts,
+                partial(_transport_point, fn, length, msgs, transport),
+                jobs=jobs,
+            )
+    result.note("extras per point: circuit-lock wait/contention plus causal "
+                "per-stage p50s and e2e p50/p95 on the busiest LNVC")
+    return result
+
+
+def ablation_transport_fcfs(quick: bool = False, jobs: int = 1) -> SweepResult:
+    """Transport ablation: Figure 4's fcfs sweep, free list vs ring.
+
+    Same workload, same cost model; only the payload path changes.  The
+    free-list sender's critical section grows with N (it walks the
+    receive-descriptor list and the allocator serializes block chains),
+    while the ring sender's critical section is a constant-size index
+    claim — so the gap widens with fan-in, the paper's §4 contention
+    analysis re-run with the contended work removed.
+    """
+    result = _transport_sweep(
+        "Ablation F",
+        "fcfs benchmark, free-list vs. ring transport",
+        fcfs_throughput, quick, jobs, (16, 1024),
+    )
+    result.note("free-list send cost grows with receivers (descriptor walk "
+                "under the circuit lock); ring send cost is flat")
+    return result
+
+
+def ablation_transport_bcast(quick: bool = False, jobs: int = 1) -> SweepResult:
+    """Transport ablation: Figure 5's broadcast sweep, free list vs ring.
+
+    BROADCAST is where the ring's per-reader cursors pay off: readers
+    advance private cache-line-padded cursors instead of a shared FIFO
+    head walk, and completion is one bit clear in the slot's bitmap
+    instead of retirement bookkeeping on a shared message header.
+    """
+    return _transport_sweep(
+        "Ablation G",
+        "broadcast benchmark, free-list vs. ring transport",
+        broadcast_throughput, quick, jobs, (16, 1024),
+    )
+
+
+def ablation_transport_random(quick: bool = False, jobs: int = 1) -> SweepResult:
+    """Transport ablation: Figure 6's random traffic, free list vs ring.
+
+    Ring slots are statically resident per circuit, so the allocator-
+    driven working-set growth that bends the 1024-byte free-list curve
+    (paging) never happens: the `faults` column drops to the fixed
+    footprint's residual.
+    """
+    result = SweepResult(
+        "Ablation H",
+        "random benchmark (1024B), free-list vs. ring transport",
+        "processes", "throughput (bytes/second of simulated time)",
+    )
+    procs = (2, 10, 20) if quick else (2, 6, 10, 14, 17, 20)
+    msgs = 16 if quick else 40
+    for transport in ("freelist", "ring"):
+        run_series(result, f"1024B {transport}", procs,
+                   partial(_transport_random_point, msgs, 1024, transport),
+                   jobs=jobs)
+    result.note("rings pre-reserve their slot memory, so the VM model sees a "
+                "fixed footprint: the free-list curve's paging bend vanishes")
+    return result
+
+
 def _paradigm_point(kernel: str, size: int, p: int) -> tuple[float, dict]:
     from ..apps.paradigm import paradigm_penalty
 
@@ -637,6 +768,9 @@ FIGURES: dict[str, Callable[..., SweepResult]] = {
     "ablation_block": ablation_block,
     "ablation_paging": ablation_paging,
     "ablation_cache": ablation_cache,
+    "ablation_transport_fcfs": ablation_transport_fcfs,
+    "ablation_transport_bcast": ablation_transport_bcast,
+    "ablation_transport_random": ablation_transport_random,
     "study_paradigm": study_paradigm,
 }
 

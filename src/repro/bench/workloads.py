@@ -29,6 +29,12 @@ on real threads or forked processes — the basis of the
 ``python -m repro.bench trace`` subcommand.  ``machine`` and ``costs``
 only influence the ``"sim"`` runtime; real runtimes take however long
 they take.
+
+Every benchmark also accepts ``transport=`` (``"freelist"`` or
+``"ring"``), selecting how every circuit of the run carries payloads
+(see docs/transport.md); ``"ring"`` swaps the shared block pool for
+fixed per-circuit slot rings, which turns pool exhaustion into sender
+backpressure, so the same workloads run unmodified on either.
 """
 
 from __future__ import annotations
@@ -112,6 +118,7 @@ def base_throughput(
     costs: Costs = DEFAULT_COSTS,
     runtime: str = "sim",
     recorder=None,
+    transport: str = "freelist",
 ) -> Measurement:
     """Figure 3's `base` program: single-process loop-back throughput.
 
@@ -135,7 +142,9 @@ def base_throughput(
         return (t0, t1)
 
     cfg = MPFConfig(max_lnvcs=4, max_processes=2,
-                    max_messages=16, message_pool_bytes=1 << 18)
+                    max_messages=16, message_pool_bytes=1 << 18,
+                    transport=transport,
+                    ring_slot_bytes=max(64, length))
     result = make_runtime(runtime, machine, recorder).run(
         [worker], cfg=cfg, costs=costs)
     return Measurement(messages * length, _window(result), result)
@@ -149,6 +158,7 @@ def fcfs_throughput(
     costs: Costs = DEFAULT_COSTS,
     runtime: str = "sim",
     recorder=None,
+    transport: str = "freelist",
 ) -> Measurement:
     """Figure 4's `fcfs` program: one sender, N FCFS receivers.
 
@@ -193,6 +203,11 @@ def fcfs_throughput(
         max_processes=n + 1,
         max_messages=max(256, messages + n + 8),
         message_pool_bytes=max(1 << 18, 2 * (messages + n) * (length + 16)),
+        transport=transport,
+        # Like max_messages above: deep enough that the sender never
+        # blocks, so both transports are measured in the same regime.
+        ring_slots=max(64, messages + n + 8),
+        ring_slot_bytes=max(64, length),
     )
     result = make_runtime(runtime, machine, recorder).run(
         [sender] + [receiver] * n, cfg=cfg, costs=costs)
@@ -207,6 +222,7 @@ def broadcast_throughput(
     costs: Costs = DEFAULT_COSTS,
     runtime: str = "sim",
     recorder=None,
+    transport: str = "freelist",
 ) -> Measurement:
     """Figure 5's `broadcast` program: one sender, N BROADCAST receivers.
 
@@ -246,6 +262,11 @@ def broadcast_throughput(
         max_processes=n + 1,
         max_messages=max(256, messages + 8),
         message_pool_bytes=max(1 << 18, 2 * messages * (length + 16)),
+        transport=transport,
+        # Like max_messages above: deep enough that the sender never
+        # blocks, so both transports are measured in the same regime.
+        ring_slots=max(64, messages + 8),
+        ring_slot_bytes=max(64, length),
     )
     result = make_runtime(runtime, machine, recorder).run(
         [sender] + [receiver] * n, cfg=cfg, costs=costs)
@@ -261,6 +282,7 @@ def random_throughput(
     seed: int = 1987,
     runtime: str = "sim",
     recorder=None,
+    transport: str = "freelist",
 ) -> Measurement:
     """Figure 6's `random` program: fully connected random traffic.
 
@@ -320,6 +342,11 @@ def random_throughput(
         max_processes=p,
         max_messages=max(512, p * messages + p * p + 16),
         message_pool_bytes=max(1 << 19, 2 * p * messages * (length + 16)),
+        transport=transport,
+        # Deep rings: a mailbox can briefly hold one in-flight burst per
+        # peer, and a cycle of backpressured senders must stay impossible.
+        ring_slots=256,
+        ring_slot_bytes=max(64, length),
     )
     result = make_runtime(runtime, machine, recorder).run(
         [worker] * p, cfg=cfg, costs=costs)

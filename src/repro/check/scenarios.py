@@ -316,6 +316,84 @@ def _mix_oracle(results: dict) -> list[str]:
 
 
 # ---------------------------------------------------------------------------
+# ring-wrap: slot reuse and generation aliasing on a tiny ring
+# ---------------------------------------------------------------------------
+
+_WRAP_SLOTS = 3
+_WRAP_MSGS = 2 * _WRAP_SLOTS + 1  # every slot is reused at least twice
+_WRAP_BCAST = 2
+
+
+def _wrap_build(fault: str | None) -> list[Worker]:
+    """Mixed receivers drain a ring small enough to wrap mid-run.
+
+    With {_WRAP_SLOTS} slots and {_WRAP_MSGS} messages, every slot is
+    claimed, retired and re-claimed under exploration, so the checker
+    covers the cases a big ring never reaches: a BROADCAST reader's
+    lock-free fast path observing a *stale* commit word (old generation:
+    ``seq != cursor+1`` must fall through to the parking slow path, never
+    deliver the old payload), the retire check with both a busy pin
+    (FCFS) and pending bits (BROADCAST) on the same slot, and a sender
+    parked on a full ring whose wake depends on the retire-gating rule
+    (wake only when the retired slot is the one ``next_write`` points
+    at).
+    """
+    n_ready = 1 + _WRAP_BCAST
+
+    def sender(env: Env):  # rank 0: lead
+        data = yield from env.open_send("data")
+        gate = yield from env.open_receive("gate", Protocol.FCFS)
+        for _ in range(n_ready):
+            yield from env.message_receive(gate)
+        body = sender_body(env, data)
+        if fault == "drop-wake":
+            body = drop_wake(body)
+        yield from body
+        yield from env.close_receive(gate)
+        yield from env.close_send(data)
+        return "sender"
+
+    def sender_body(env: Env, data: int):
+        for i in range(_WRAP_MSGS):
+            yield from env.message_send(data, b"w%d" % i)
+
+    def fcfs(env: Env):
+        data = yield from env.open_receive("data", Protocol.FCFS)
+        gate = yield from env.open_send("gate")
+        yield from env.message_send(gate, b"ready")
+        got = []
+        for _ in range(_WRAP_MSGS):
+            msg = yield from env.message_receive(data)
+            got.append(bytes(msg))
+        yield from env.close_receive(data)
+        yield from env.close_send(gate)
+        return got
+
+    def bcast(env: Env):
+        data = yield from env.open_receive("data", Protocol.BROADCAST)
+        gate = yield from env.open_send("gate")
+        yield from env.message_send(gate, b"ready")
+        got = []
+        for _ in range(_WRAP_MSGS):
+            msg = yield from env.message_receive(data)
+            got.append(bytes(msg))
+        yield from env.close_receive(data)
+        yield from env.close_send(gate)
+        return got
+
+    return [sender, fcfs] + [bcast] * _WRAP_BCAST
+
+
+def _wrap_oracle(results: dict) -> list[str]:
+    sent = [b"w%d" % i for i in range(_WRAP_MSGS)]
+    out = check_fcfs_delivery(sent, [results["p1"]])
+    for k in range(_WRAP_BCAST):
+        out += check_broadcast_delivery(sent, results[f"p{2 + k}"],
+                                        who=f"p{2 + k}")
+    return out
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 
@@ -351,6 +429,19 @@ SCENARIOS: dict[str, Scenario] = {
             build=_pool_build,
             oracle=_pool_oracle,
             faults=(),
+        ),
+        Scenario(
+            name="ring-wrap",
+            doc=f"ring transport: {_WRAP_MSGS} messages through a "
+                f"{_WRAP_SLOTS}-slot ring with 1 FCFS + {_WRAP_BCAST} "
+                "BROADCAST receivers (slot reuse, generation aliasing, "
+                "full-ring backpressure)",
+            cfg=MPFConfig(max_lnvcs=4, max_processes=8, max_messages=32,
+                          message_pool_bytes=1 << 12, transport="ring",
+                          ring_slots=_WRAP_SLOTS, ring_slot_bytes=16),
+            build=_wrap_build,
+            oracle=_wrap_oracle,
+            faults=("drop-wake",),
         ),
         Scenario(
             name="mixed-protocol",

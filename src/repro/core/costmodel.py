@@ -82,6 +82,35 @@ class Costs:
     #: Per payload byte moved (each direction).
     copy_byte: int = 2
 
+    # -- ring transport -----------------------------------------------------
+    # The ring's fixed costs sit slightly below the free-list path's: no
+    # descriptor-list walk on send, no allocator round trip, no per-block
+    # loop.  Its *contention* profile is what really differs — a sender
+    # takes the circuit lock exactly once per message (claim+fill+commit
+    # in one section) and never touches a global lock, so the modeled
+    # coherence charges below (one per cache line touched by another CPU
+    # since we last owned it) dominate at high fan-in instead of lock
+    # convoys.
+    #: ``message_send`` fixed path on a ring circuit.
+    ring_send_fixed: int = 3000
+    #: ``message_receive`` fixed path on a ring circuit.
+    ring_recv_fixed: int = 2600
+    #: Claiming a write index / snapshotting the reader mask (start of
+    #: the sender's single circuit-lock section).
+    ring_claim: int = 60
+    #: Publishing a committed slot (commit-word store + state bits).
+    ring_publish: int = 80
+    #: BROADCAST reader taking a committed slot on the lock-free fast
+    #: path: commit-word check plus private-cursor bump.  No descriptor
+    #: walk and no lock — the per-reader cursor is the whole point of
+    #: the mpsoc read side, so this is charged *outside* any section.
+    ring_cursor: int = 30
+    #: Consuming a slot: pending-bit clear, retire check.
+    ring_consume: int = 90
+    #: Bus cost of pulling one cache line whose last writer was another
+    #: CPU (slot header, bitmap line, or shared control line).
+    cacheline_xfer: int = 25
+
     # -- list manipulation --------------------------------------------------
     #: Per element examined in any linked-list or table walk.
     list_step: int = 12

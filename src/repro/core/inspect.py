@@ -21,7 +21,20 @@ from .freelist import fl_count
 from .layout import HDR
 from .ops import MPFView, encode_lnvc_id
 from .protocol import NIL, MsgFlags, Protocol
-from .structs import LNVC, MSG, RECV, SEND
+from .structs import (
+    LNVC,
+    MSG,
+    RCUR,
+    RECV,
+    RING,
+    RING_READERS,
+    RSLOT,
+    RSLOT_PENDING_OFF,
+    RS_FCFS_AVAILABLE,
+    RS_FCFS_TAKEN,
+    RS_RETIRED,
+    SEND,
+)
 
 __all__ = ["MessageInfo", "ConnectionInfo", "CircuitInfo", "SegmentInfo",
            "inspect_segment", "render_segment",
@@ -67,6 +80,8 @@ class CircuitInfo:
     peak_queued: int
     messages: list[MessageInfo] = field(default_factory=list)
     connections: list[ConnectionInfo] = field(default_factory=list)
+    #: Which transport carries this circuit's payloads.
+    transport: str = "freelist"
 
 
 @dataclass(frozen=True)
@@ -111,8 +126,52 @@ def _walk_messages(view: MPFView, base: int) -> list[MessageInfo]:
     return out
 
 
+def _ring_live_slots(view: MPFView, base: int) -> list[tuple[int, int]]:
+    """Committed, unretired ``(index, slot_off)`` pairs of a ring circuit,
+    oldest first."""
+    r = view.region
+    lay = view.layout
+    nslots = view.cfg.ring_slots
+    ring = LNVC.get(r, base, "ring")
+    ridx = lay.ring_index(ring)
+    w = RING.get(r, ring, "next_write")
+    out = []
+    for idx in range(w - nslots if w > nslots else 0, w):
+        sl = lay.ring_slot_off(ridx, idx % nslots)
+        if RSLOT.get(r, sl, "seq") != idx + 1:
+            continue
+        if RSLOT.get(r, sl, "state") & RS_RETIRED:
+            continue
+        out.append((idx, sl))
+    return out
+
+
+def _walk_ring_messages(view: MPFView, base: int) -> list[MessageInfo]:
+    r = view.region
+    out = []
+    for _, sl in _ring_live_slots(view, base):
+        st = RSLOT.get(r, sl, "state")
+        flags = MsgFlags.NONE
+        if st & RS_FCFS_AVAILABLE:
+            flags |= MsgFlags.FCFS_EXPECTED
+        if st & RS_FCFS_TAKEN:
+            flags |= MsgFlags.FCFS_TAKEN
+        out.append(
+            MessageInfo(
+                seqno=RSLOT.get(r, sl, "seqno"),
+                length=RSLOT.get(r, sl, "length"),
+                nblocks=0,
+                sender=RSLOT.get(r, sl, "sender"),
+                flags=flags,
+                bcast_pending=r.u32(sl + RSLOT_PENDING_OFF).bit_count(),
+            )
+        )
+    return out
+
+
 def _walk_connections(view: MPFView, base: int) -> list[ConnectionInfo]:
     r = view.region
+    is_ring = bool(LNVC.get(r, base, "transport"))
     out = []
     desc = LNVC.get(r, base, "send_list")
     while desc != NIL:
@@ -124,11 +183,20 @@ def _walk_connections(view: MPFView, base: int) -> list[ConnectionInfo]:
         proto = Protocol(RECV.get(r, desc, "proto"))
         backlog = None
         if proto is Protocol.BROADCAST:
-            backlog = 0
-            msg = RECV.get(r, desc, "head")
-            while msg != NIL:
-                backlog += 1
-                msg = MSG.get(r, msg, "next_msg")
+            if is_ring:
+                ring = LNVC.get(r, base, "ring")
+                cur = view.layout.ring_cur_off(
+                    view.layout.ring_index(ring), RECV.get(r, desc, "head")
+                )
+                backlog = RING.get(r, ring, "next_write") - RCUR.get(
+                    r, cur, "next_seq"
+                )
+            else:
+                backlog = 0
+                msg = RECV.get(r, desc, "head")
+                while msg != NIL:
+                    backlog += 1
+                    msg = MSG.get(r, msg, "next_msg")
         out.append(
             ConnectionInfo(
                 pid=RECV.get(r, desc, "pid"),
@@ -150,6 +218,7 @@ def inspect_segment(view: MPFView) -> SegmentInfo:
         base = view.layout.lnvc_off(slot)
         if not LNVC.get(r, base, "in_use"):
             continue
+        is_ring = bool(LNVC.get(r, base, "transport"))
         circuits.append(
             CircuitInfo(
                 lnvc_id=encode_lnvc_id(slot, LNVC.get(r, base, "gen")),
@@ -160,8 +229,13 @@ def inspect_segment(view: MPFView) -> SegmentInfo:
                 queued=LNVC.get(r, base, "nmsgs"),
                 total_enqueued=LNVC.get(r, base, "seq"),
                 peak_queued=LNVC.get(r, base, "hwm_nmsgs"),
-                messages=_walk_messages(view, base),
+                messages=(
+                    _walk_ring_messages(view, base)
+                    if is_ring
+                    else _walk_messages(view, base)
+                ),
                 connections=_walk_connections(view, base),
+                transport="ring" if is_ring else "freelist",
             )
         )
     return SegmentInfo(
@@ -195,6 +269,83 @@ def _walk_fifo(r, base, cap: int) -> list[int] | None:
             return None
         out.append(msg)
         msg = MSG.get(r, msg, "next_msg")
+    return out
+
+
+def _ring_circuit_violations(
+    view: MPFView, base: int, tag: str, level: str
+) -> list[str]:
+    """Ring-transport analogues of the per-circuit FIFO identities.
+
+    The live slot set plays the FIFO's role: its size must match
+    ``nmsgs``, its sequence numbers must increase with the claim index,
+    cursors must stay within the claimed range, and every pending bitmap
+    must be a subset of the registered reader mask.  At ``"final"``
+    level the retirement rule must also be exact: an unretired slot owes
+    either BROADCAST reads or an FCFS take.
+    """
+    r = view.region
+    lay = view.layout
+    cfg = view.cfg
+    out: list[str] = []
+    ring = LNVC.get(r, base, "ring")
+    ridx = lay.ring_index(ring)
+    if not (0 <= ridx < cfg.n_rings):
+        return [f"{tag}: ring control offset {ring} outside the pool"]
+    w = RING.get(r, ring, "next_write")
+    f = RING.get(r, ring, "fcfs_next")
+    mask = RING.get(r, ring, "reader_mask")
+    live = _ring_live_slots(view, base)
+    nmsgs = LNVC.get(r, base, "nmsgs")
+    if nmsgs != len(live):
+        out.append(f"{tag}: nmsgs={nmsgs} but {len(live)} live ring slots")
+    if LNVC.get(r, base, "hwm_nmsgs") < nmsgs:
+        out.append(f"{tag}: peak depth below current depth")
+    if f > w:
+        out.append(f"{tag}: fcfs_next={f} ahead of next_write={w}")
+    if mask.bit_count() != LNVC.get(r, base, "n_bcast"):
+        out.append(
+            f"{tag}: reader mask holds {mask.bit_count()} bits but "
+            f"n_bcast={LNVC.get(r, base, 'n_bcast')}"
+        )
+    seqnos = [RSLOT.get(r, sl, "seqno") for _, sl in live]
+    if any(b <= a for a, b in zip(seqnos, seqnos[1:])):
+        out.append(f"{tag}: sequence numbers not strictly increasing: {seqnos}")
+    for idx, sl in live:
+        pend = r.u32(sl + RSLOT_PENDING_OFF)
+        if pend & ~mask:
+            out.append(
+                f"{tag}: slot for index {idx} owes reads to unregistered "
+                f"reader bits {pend & ~mask:#x}"
+            )
+        if idx < f:
+            st = RSLOT.get(r, sl, "state")
+            if st & RS_FCFS_AVAILABLE and not st & RS_FCFS_TAKEN:
+                out.append(
+                    f"{tag}: FCFS cursor passed untaken available index {idx}"
+                )
+    for bit in range(RING_READERS):
+        if not mask & (1 << bit):
+            continue
+        cur = RCUR.get(r, lay.ring_cur_off(ridx, bit), "next_seq")
+        if cur > w:
+            out.append(
+                f"{tag}: reader bit {bit} cursor {cur} ahead of "
+                f"next_write={w}"
+            )
+    if level == "final":
+        for idx, sl in live:
+            if RSLOT.get(r, sl, "busy"):
+                out.append(
+                    f"{tag}: slot for index {idx} still busy at quiescence"
+                )
+            st = RSLOT.get(r, sl, "state")
+            pend = r.u32(sl + RSLOT_PENDING_OFF)
+            if not pend and not (st & RS_FCFS_AVAILABLE and not st & RS_FCFS_TAKEN):
+                out.append(
+                    f"{tag}: slot for index {idx} fully discharged but "
+                    "not retired"
+                )
     return out
 
 
@@ -245,6 +396,7 @@ def collect_violations(
         )
 
     in_use_count = 0
+    ring_count = 0
     queued_msgs = 0
     queued_blocks = 0
     queued_bytes = 0
@@ -256,25 +408,34 @@ def collect_violations(
             continue
         in_use_count += 1
         tag = f"lnvc slot {slot}"
-        fifo = _walk_fifo(r, base, cfg.max_messages)
-        if fifo is None:
-            out.append(f"{tag}: FIFO is cyclic or overlong")
-            continue
-        nmsgs = LNVC.get(r, base, "nmsgs")
-        if nmsgs != len(fifo):
-            out.append(f"{tag}: nmsgs={nmsgs} but FIFO holds {len(fifo)}")
-        if LNVC.get(r, base, "hwm_nmsgs") < nmsgs:
-            out.append(f"{tag}: peak depth below current depth")
-        seqnos = [MSG.get(r, m, "seqno") for m in fifo]
-        if any(b <= a for a, b in zip(seqnos, seqnos[1:])):
-            out.append(f"{tag}: sequence numbers not strictly increasing: {seqnos}")
-        if fifo and LNVC.get(r, base, "fifo_tail") != fifo[-1]:
-            out.append(f"{tag}: fifo_tail does not point at the last message")
-        if not fifo and LNVC.get(r, base, "fifo_tail") != NIL:
-            out.append(f"{tag}: empty FIFO with non-NIL tail")
-        queued_msgs += len(fifo)
-        queued_blocks += sum(MSG.get(r, m, "nblocks") for m in fifo)
-        queued_bytes += sum(MSG.get(r, m, "length") for m in fifo)
+        is_ring = bool(LNVC.get(r, base, "transport"))
+        if is_ring:
+            ring_count += 1
+            # Ring circuits have no FIFO; their slot pool carries the
+            # equivalent identities, checked separately below.
+            fifo = []
+            fifo_set: set = set()
+            out.extend(_ring_circuit_violations(view, base, tag, level))
+        else:
+            fifo = _walk_fifo(r, base, cfg.max_messages)
+            if fifo is None:
+                out.append(f"{tag}: FIFO is cyclic or overlong")
+                continue
+            nmsgs = LNVC.get(r, base, "nmsgs")
+            if nmsgs != len(fifo):
+                out.append(f"{tag}: nmsgs={nmsgs} but FIFO holds {len(fifo)}")
+            if LNVC.get(r, base, "hwm_nmsgs") < nmsgs:
+                out.append(f"{tag}: peak depth below current depth")
+            seqnos = [MSG.get(r, m, "seqno") for m in fifo]
+            if any(b <= a for a, b in zip(seqnos, seqnos[1:])):
+                out.append(f"{tag}: sequence numbers not strictly increasing: {seqnos}")
+            if fifo and LNVC.get(r, base, "fifo_tail") != fifo[-1]:
+                out.append(f"{tag}: fifo_tail does not point at the last message")
+            if not fifo and LNVC.get(r, base, "fifo_tail") != NIL:
+                out.append(f"{tag}: empty FIFO with non-NIL tail")
+            queued_msgs += len(fifo)
+            queued_blocks += sum(MSG.get(r, m, "nblocks") for m in fifo)
+            queued_bytes += sum(MSG.get(r, m, "length") for m in fifo)
 
         n_senders = LNVC.get(r, base, "n_senders")
         n_fcfs = LNVC.get(r, base, "n_fcfs")
@@ -309,7 +470,16 @@ def collect_violations(
                 if proto is Protocol.BROADCAST:
                     got_bcast += 1
                     head = RECV.get(r, desc, "head")
-                    if head != NIL and head not in fifo_set:
+                    if is_ring:
+                        # ``head`` is the reader's bitmap index here.
+                        ring = LNVC.get(r, base, "ring")
+                        mask = RING.get(r, ring, "reader_mask")
+                        if head >= RING_READERS or not mask & (1 << head):
+                            out.append(
+                                f"{tag}: BROADCAST reader bit {head} of pid "
+                                f"{pid} not set in the ring reader mask"
+                            )
+                    elif head != NIL and head not in fifo_set:
                         out.append(
                             f"{tag}: BROADCAST head of pid {pid} "
                             "points outside the FIFO"
@@ -343,6 +513,11 @@ def collect_violations(
         out.append(
             f"live_lnvcs={live_lnvcs} but {in_use_count} slots are in use"
         )
+    live_rings = HDR.get(r, "live_rings")
+    if live_rings != ring_count:
+        out.append(
+            f"live_rings={live_rings} but {ring_count} ring circuits are in use"
+        )
 
     if level == "final":
         if queued_msgs != live_msgs:
@@ -372,6 +547,13 @@ def collect_violations(
                 f"recv-descriptor conservation broken: {free_recv} free + "
                 f"{linked_recv} linked != {cfg.n_recv}"
             )
+        if cfg.n_rings:
+            free_ring = fl_count(r, HDR.u32["free_ring"], limit=cfg.n_rings + 1)
+            if free_ring + live_rings != cfg.n_rings:
+                out.append(
+                    f"ring-pool conservation broken: {free_ring} free + "
+                    f"{live_rings} live != {cfg.n_rings}"
+                )
         out.extend(_cache_violations(view))
 
     if expect_empty:
@@ -383,6 +565,8 @@ def collect_violations(
                 f"live_msgs={live_msgs} live_blocks={live_blocks} "
                 f"live_bytes={live_bytes}"
             )
+        if live_rings:
+            out.append(f"expected drained ring pool: live_rings={live_rings}")
     return out
 
 

@@ -26,7 +26,17 @@ Segment map (all offsets 4-byte aligned)::
     | message header pool   |  max_messages x MSG.size
     +-----------------------+  blk_base
     | message block pool    |  n_blocks x (4 + block_size)
+    +-----------------------+  ring_ctrl_base   (cache-line aligned)
+    | ring control pool     |  n_rings x RING.size (one line each)
+    +-----------------------+  ring_cur_base
+    | ring cursor pool      |  n_rings x RING_READERS x RCUR.size
+    +-----------------------+  ring_data_base
+    | ring slot pool        |  n_rings x ring_slots x ring_stride
     +-----------------------+  total_size
+
+The three ring pools exist only when the config selects the ring
+transport for at least one circuit (``n_rings`` is zero otherwise), so a
+pure free-list segment is laid out byte-for-byte as before.
 """
 
 from __future__ import annotations
@@ -37,7 +47,17 @@ from .errors import MPFConfigError, RegionFormatError
 from .freelist import init_freelist
 from .protocol import FIRST_LNVC_LOCK, MAGIC, VERSION
 from .region import SharedRegion
-from .structs import LNVC, MSG, RECV, SEND, block_stride
+from .structs import (
+    LNVC,
+    MSG,
+    RECV,
+    RCUR,
+    RING,
+    RING_READERS,
+    SEND,
+    block_stride,
+    ring_slot_stride,
+)
 
 __all__ = ["MPFConfig", "HDR", "SegmentLayout", "format_region", "check_region"]
 
@@ -79,6 +99,23 @@ class MPFConfig:
     #: Zero-initialized, and every extension defines all-zeroes as its
     #: valid empty state, so no post-format setup hook is needed.
     ext_bytes: int = 0
+    #: Default transport for new circuits: ``"freelist"`` (the paper's
+    #: locked FIFO over the global block pool) or ``"ring"`` (the
+    #: mpsoc-style lock-free ring; see docs/transport.md).
+    transport: str = "freelist"
+    #: Per-circuit overrides of :attr:`transport`, as ``(name, kind)``
+    #: pairs matched against the LNVC name at first open.
+    transports: tuple = ()
+    #: Ring pool size; 0 derives it (``max_lnvcs`` when any circuit may
+    #: select the ring transport, else no pool at all).
+    ring_lnvcs: int = 0
+    #: Slots per ring.  A full ring blocks senders until a slot retires,
+    #: the analogue of the free-list transport's empty block pool.
+    ring_slots: int = 64
+    #: Payload capacity of one ring slot.  Ring messages are bounded —
+    #: the price of fixed-size slots — where free-list messages are only
+    #: bounded by the block pool.
+    ring_slot_bytes: int = 1024
 
     def __post_init__(self) -> None:
         if self.max_lnvcs < 1:
@@ -95,6 +132,17 @@ class MPFConfig:
             raise MPFConfigError("message_pool_bytes smaller than one block")
         if self.ext_slots < 0 or self.ext_bytes < 0:
             raise MPFConfigError("extension reservations must be >= 0")
+        if self.transport not in ("freelist", "ring"):
+            raise MPFConfigError(f"unknown transport {self.transport!r}")
+        for pair in self.transports:
+            if len(pair) != 2 or pair[1] not in ("freelist", "ring"):
+                raise MPFConfigError(f"bad transport override {pair!r}")
+        if self.ring_lnvcs < 0:
+            raise MPFConfigError("ring_lnvcs must be >= 0")
+        if self.ring_slots < 2:
+            raise MPFConfigError("ring_slots must be >= 2")
+        if self.ring_slot_bytes < 1:
+            raise MPFConfigError("ring_slot_bytes must be >= 1")
 
     @property
     def n_send(self) -> int:
@@ -114,6 +162,22 @@ class MPFConfig:
     def n_blocks(self) -> int:
         """Message blocks carved out of ``message_pool_bytes``."""
         return self.message_pool_bytes // block_stride(self.block_size)
+
+    @property
+    def n_rings(self) -> int:
+        """Effective ring pool size: 0 unless a circuit may use rings."""
+        if self.ring_lnvcs:
+            return self.ring_lnvcs
+        if self.transport == "ring" or any(k == "ring" for _, k in self.transports):
+            return self.max_lnvcs
+        return 0
+
+    def transport_for(self, name: str) -> str:
+        """Transport kind a circuit called ``name`` will use."""
+        for pat, kind in self.transports:
+            if pat == name:
+                return kind
+        return self.transport
 
     @property
     def n_locks(self) -> int:
@@ -153,6 +217,9 @@ class _Header:
         "live_blocks", # message blocks currently allocated
         "live_bytes",  # payload bytes currently queued (VM model input)
         "live_lnvcs",  # circuits currently in use
+        "n_rings",     # ring transport pool (0 on pure free-list segments)
+        "free_ring",   # ring free-list head
+        "live_rings",  # rings currently bound to circuits
     )
     _U64_FIELDS = (
         "total_sends",
@@ -201,6 +268,10 @@ class SegmentLayout:
     msg_base: int = field(init=False)
     blk_base: int = field(init=False)
     blk_stride: int = field(init=False)
+    ring_ctrl_base: int = field(init=False)
+    ring_cur_base: int = field(init=False)
+    ring_data_base: int = field(init=False)
+    ring_stride: int = field(init=False)
     ext_base: int = field(init=False)
     total_size: int = field(init=False)
 
@@ -218,6 +289,16 @@ class SegmentLayout:
         object.__setattr__(self, "blk_base", off)
         object.__setattr__(self, "blk_stride", block_stride(cfg.block_size))
         off = _align(off + cfg.n_blocks * self.blk_stride)
+        # Ring pools: cache-line aligned, zero-sized on pure free-list
+        # segments so those keep their historical layout byte-for-byte.
+        object.__setattr__(self, "ring_stride", ring_slot_stride(cfg.ring_slot_bytes))
+        off = _align(off, 64) if cfg.n_rings else off
+        object.__setattr__(self, "ring_ctrl_base", off)
+        off += cfg.n_rings * RING.size
+        object.__setattr__(self, "ring_cur_base", off)
+        off += cfg.n_rings * RING_READERS * RCUR.size
+        object.__setattr__(self, "ring_data_base", off)
+        off = _align(off + cfg.n_rings * cfg.ring_slots * self.ring_stride)
         object.__setattr__(self, "ext_base", off)
         off = _align(off + cfg.ext_bytes)
         object.__setattr__(self, "total_size", off)
@@ -229,6 +310,22 @@ class SegmentLayout:
     def lnvc_slot(self, off: int) -> int:
         """Inverse of :meth:`lnvc_off`."""
         return (off - self.lnvc_base) // LNVC.size
+
+    def ring_index(self, ctrl_off: int) -> int:
+        """Pool index of the ring control block at ``ctrl_off``."""
+        return (ctrl_off - self.ring_ctrl_base) // RING.size
+
+    def ring_cur_off(self, ring_idx: int, reader_bit: int) -> int:
+        """Byte offset of BROADCAST reader ``reader_bit``'s cursor."""
+        return self.ring_cur_base + (ring_idx * RING_READERS + reader_bit) * RCUR.size
+
+    def ring_slot_off(self, ring_idx: int, slot: int) -> int:
+        """Byte offset of slot ``slot`` of ring ``ring_idx``."""
+        return (
+            self.ring_data_base
+            + ring_idx * self.cfg.ring_slots * self.ring_stride
+            + slot * self.ring_stride
+        )
 
 
 def format_region(region: SharedRegion, cfg: MPFConfig) -> SegmentLayout:
@@ -258,6 +355,10 @@ def format_region(region: SharedRegion, cfg: MPFConfig) -> SegmentLayout:
     init_freelist(region, HDR.u32["free_recv"], layout.recv_base, RECV.size, cfg.n_recv)
     init_freelist(region, HDR.u32["free_msg"], layout.msg_base, MSG.size, cfg.max_messages)
     init_freelist(region, HDR.u32["free_blk"], layout.blk_base, layout.blk_stride, cfg.n_blocks)
+    HDR.set(region, "n_rings", cfg.n_rings)
+    init_freelist(
+        region, HDR.u32["free_ring"], layout.ring_ctrl_base, RING.size, cfg.n_rings
+    )
     return layout
 
 
@@ -279,6 +380,7 @@ def check_region(region: SharedRegion, cfg: MPFConfig) -> SegmentLayout:
         ("block_size", cfg.block_size),
         ("n_msgs", cfg.max_messages),
         ("n_blocks", cfg.n_blocks),
+        ("n_rings", cfg.n_rings),
     ):
         if HDR.get(region, f) != want:
             raise RegionFormatError(f"segment {f} does not match config")

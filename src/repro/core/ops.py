@@ -57,6 +57,15 @@ from .protocol import (
 )
 from .region import SharedRegion
 from .structs import BLK_NEXT, LNVC, MSG, RECV, SEND
+from .transport import (
+    ring_attach,
+    ring_check,
+    ring_receive,
+    ring_register_reader,
+    ring_release,
+    ring_send,
+    ring_unregister_reader,
+)
 from .work import Work
 
 __all__ = [
@@ -102,6 +111,7 @@ _L_N_BCAST = LNVC.offsets["n_bcast"]
 _L_SEQ = LNVC.offsets["seq"]
 _L_HWM_NMSGS = LNVC.offsets["hwm_nmsgs"]
 _L_CONN_EPOCH = LNVC.offsets["conn_epoch"]
+_L_TRANSPORT = LNVC.offsets["transport"]
 
 _S_PID = SEND.offsets["pid"]
 _S_NEXT = SEND.offsets["next"]
@@ -186,6 +196,13 @@ class MPFView:
         "_recv_wakeup",
         "_recv_find",
         "_check_walk",
+        "_ring_send_fixed_work",
+        "_ring_send_fixed",
+        "_ring_recv_fixed",
+        "_ring_claim",
+        "_ring_cursor",
+        "_ring_commit",
+        "_ring_consume",
         "_send_cache",
         "_recv_cache",
         "causal",
@@ -226,6 +243,30 @@ class MPFView:
         self._check_walk = tuple(
             Charge(Work(instrs=k * costs.list_step, label="check-walk"))
             for k in range(8)
+        )
+        # Ring transport fixed charges (see repro.core.transport).  The
+        # claim/commit/consume charges each include one cacheline_xfer:
+        # the shared control or header line is hot in another CPU's
+        # cache whenever the circuit is actually contended.
+        self._ring_send_fixed_work = Work(
+            instrs=costs.ring_send_fixed, label="ring-send-fixed"
+        )
+        self._ring_send_fixed = Charge(self._ring_send_fixed_work)
+        self._ring_recv_fixed = Charge(
+            Work(instrs=costs.ring_recv_fixed, label="ring-recv-fixed")
+        )
+        self._ring_claim = Charge(
+            Work(instrs=costs.ring_claim + costs.cacheline_xfer, label="ring-claim")
+        )
+        self._ring_cursor = Charge(
+            Work(instrs=costs.ring_cursor + costs.cacheline_xfer,
+                 label="ring-cursor")
+        )
+        self._ring_commit = Charge(
+            Work(instrs=costs.ring_publish + costs.cacheline_xfer, label="ring-commit")
+        )
+        self._ring_consume = Charge(
+            Work(instrs=costs.ring_consume + costs.cacheline_xfer, label="ring-consume")
         )
         # Connection-descriptor lookup caches: (slot, pid) -> (desc_off,
         # steps, gen, conn_epoch).  The circuit's ``conn_epoch`` field is
@@ -502,6 +543,10 @@ def _delete_lnvc(view: MPFView, slot: int) -> OpGen:
         for m in msgs:
             nblk += _free_chain(view, m)
         yield Release(ALLOC_LOCK)
+    if LNVC.get(r, base, "transport"):
+        # Ring circuits have no FIFO to discard (msgs is empty above);
+        # unread slots die with the ring, which returns to the pool.
+        yield from ring_release(view, base)
     gen = LNVC.get(r, base, "gen")
     LNVC.clear(r, base)
     LNVC.set(r, base, "gen", (gen + 1) & 0x3FFFFF)
@@ -548,6 +593,8 @@ def _open_common(view: MPFView, data: bytes) -> OpGen:
         LNVC.set(r, base, "recv_list", NIL)
         view.write_name(slot, data)
         HDR.add(r, "live_lnvcs", 1)
+        if view.cfg.transport_for(data.decode("utf-8")) == "ring":
+            yield from ring_attach(view, slot, base)
     yield Charge(Work(instrs=c.open_fixed + steps * c.list_step, label="open"))
     return slot
 
@@ -640,6 +687,16 @@ def open_receive(view: MPFView, pid: int, name: str, protocol: Protocol) -> OpGe
     RECV.set(r, desc, "proto", proto)
     RECV.set(r, desc, "head", NIL)
     RECV.set(r, desc, "nreads", 0)
+    if proto is Protocol.BROADCAST and LNVC.get(r, base, "transport"):
+        try:
+            # Ring circuits: claim a reader-bitmap index and a tail
+            # cursor instead of an individual FIFO head pointer.
+            ring_register_reader(view, base, desc)
+        except OutOfDescriptorsError as exc:
+            yield Acquire(ALLOC_LOCK)
+            fl_free(r, HDR.u32["free_recv"], desc)
+            yield Release(ALLOC_LOCK)
+            yield from _release_and_raise([lock, GLOBAL_LOCK], exc)
     RECV.set(r, desc, "next", LNVC.get(r, base, "recv_list"))
     LNVC.set(r, base, "recv_list", desc)
     LNVC.add(r, base, "n_fcfs" if proto is Protocol.FCFS else "n_bcast", 1)
@@ -721,14 +778,20 @@ def close_receive(view: MPFView, pid: int, lnvc_id: int) -> OpGen:
             NotConnectedError(f"pid {pid} holds no receive connection here"),
         )
     proto = Protocol(RECV.get(r, desc, "proto"))
+    is_ring = bool(LNVC.get(r, base, "transport"))
     walked = 0
+    ring_retired = False
     if proto is Protocol.BROADCAST:
-        msg = RECV.get(r, desc, "head")
-        while msg != NIL:
-            MSG.add(r, msg, "bcast_pending", -1)
-            _retire_check(view, msg)
-            msg = MSG.get(r, msg, "next_msg")
-            walked += 1
+        if is_ring:
+            ring_retired = ring_unregister_reader(view, base, desc)
+            walked = view.cfg.ring_slots
+        else:
+            msg = RECV.get(r, desc, "head")
+            while msg != NIL:
+                MSG.add(r, msg, "bcast_pending", -1)
+                _retire_check(view, msg)
+                msg = MSG.get(r, msg, "next_msg")
+                walked += 1
         LNVC.add(r, base, "n_bcast", -1)
     else:
         LNVC.add(r, base, "n_fcfs", -1)
@@ -747,11 +810,16 @@ def close_receive(view: MPFView, pid: int, lnvc_id: int) -> OpGen:
             label="close_receive",
         )
     )
-    yield from _reap_head(view, base)
+    if not is_ring:
+        yield from _reap_head(view, base)
     if _conn_count(view, base) == 0:
         yield from _delete_lnvc(view, slot)
     yield Release(lock)
     yield Release(GLOBAL_LOCK)
+    if ring_retired:
+        # Shedding this reader's pending bits retired at least one slot:
+        # senders blocked on a full ring can now reuse it.
+        yield view._wake[slot]
     return None
 
 
@@ -781,6 +849,14 @@ def message_send(
     Raises :class:`OutOfMessageMemoryError` when the header or block pool
     is exhausted — the hard edge of the ``init()`` sizing estimate.
     """
+    # Transport dispatch on a plain u32 read: no effect is yielded, so
+    # free-list circuits keep a bit-identical simulated schedule.  A
+    # stale identifier is caught by the generation check either way.
+    slot = lnvc_id & _SLOT_MASK
+    if slot < view.cfg.max_lnvcs and view.region.u32(
+        view.layout.lnvc_off(slot) + _L_TRANSPORT
+    ):
+        return (yield from ring_send(view, pid, lnvc_id, data, prelude))
     if not isinstance(data, (bytes, bytearray, memoryview)):
         raise TypeError("message payload must be bytes-like")
     data = bytes(data)
@@ -959,6 +1035,11 @@ def message_receive(
     :class:`BufferOverflowError` *without* consuming the message — the
     safe analogue of the C interface's caller-supplied buffer.
     """
+    slot = lnvc_id & _SLOT_MASK
+    if slot < view.cfg.max_lnvcs and view.region.u32(
+        view.layout.lnvc_off(slot) + _L_TRANSPORT
+    ):
+        return (yield from ring_receive(view, pid, lnvc_id, max_len))
     r = view.region
     u32 = r.u32
     set_u32 = r.set_u32
@@ -1096,6 +1177,11 @@ def check_receive(
     loops that back off with compute between rounds (see
     :func:`repro.patterns.select_receive`).
     """
+    slot = lnvc_id & _SLOT_MASK
+    if slot < view.cfg.max_lnvcs and view.region.u32(
+        view.layout.lnvc_off(slot) + _L_TRANSPORT
+    ):
+        return (yield from ring_check(view, pid, lnvc_id, prelude))
     r = view.region
     u32 = r.u32
     c = view.costs

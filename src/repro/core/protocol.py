@@ -48,8 +48,10 @@ NIL = 0xFFFFFFFF
 #: Magic word written at offset 0 of a formatted segment ("MPF!" little-endian).
 MAGIC = 0x4D504621
 
-#: On-disk/in-memory format version of the segment layout.
-VERSION = 1
+#: On-disk/in-memory format version of the segment layout.  v2 added the
+#: ring transport pools (control blocks, reader cursors, slot arrays)
+#: after the message block pool.
+VERSION = 2
 
 #: Maximum LNVC name length in bytes (UTF-8 encoded).
 NAME_MAX = 63

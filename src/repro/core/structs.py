@@ -34,6 +34,17 @@ __all__ = [
     "MSG",
     "BLK_NEXT",
     "block_stride",
+    "RING",
+    "RSLOT",
+    "RCUR",
+    "CACHE_LINE",
+    "RING_READERS",
+    "RS_FCFS_AVAILABLE",
+    "RS_FCFS_TAKEN",
+    "RS_RETIRED",
+    "RSLOT_PENDING_OFF",
+    "RSLOT_DATA_OFF",
+    "ring_slot_stride",
 ]
 
 
@@ -99,6 +110,8 @@ LNVC = Record(
         "hwm_nmsgs",   # deepest the FIFO has ever been (statistics)
         "name_len",    # bytes of UTF-8 name stored in the tail
         "conn_epoch",  # bumped on every send/recv list mutation (see ops)
+        "transport",   # 0 = free-list FIFO, 1 = ring (fixed at creation)
+        "ring",        # RING control-block offset (ring circuits only)
     ),
     tail_bytes=NAME_MAX + 1,
 )
@@ -141,3 +154,75 @@ def block_stride(block_size: int) -> int:
     stride here.
     """
     return 4 + block_size
+
+
+# ---------------------------------------------------------------------------
+# ring transport records (see docs/transport.md)
+# ---------------------------------------------------------------------------
+
+#: Coherence granularity of the modeled bus (and of every machine this is
+#: likely to run on).  Ring slot headers, the per-slot reader bitmap and
+#: the per-reader cursors are each padded to this, mpsoc-style, so that
+#: writer traffic and each reader's cursor never share a line.
+CACHE_LINE = 64
+
+#: Maximum BROADCAST readers per ring circuit: the per-slot pending
+#: bitmap is one u32, one bit per reader index.
+RING_READERS = 32
+
+#: Ring control block, one per ring in the pool.  While free, the first
+#: word (``next_write``) doubles as the free-list link; every field is
+#: re-initialized when a circuit claims the ring.  Counters are monotone
+#: u32 *message indexes*, not slot indexes: ``index % ring_slots`` picks
+#: the slot, and the full index distinguishes laps, which is what makes
+#: slot reuse (generation aliasing) detectable instead of silent.
+RING = Record(
+    "RING",
+    (
+        "next_write",   # next message index a sender will claim
+        "fcfs_next",    # shared FCFS cursor: next index not yet FCFS-taken
+        "reader_mask",  # bitmap of registered BROADCAST reader indexes
+    ),
+    tail_bytes=CACHE_LINE - 12,  # pad: adjacent rings never share a line
+)
+
+#: Ring slot header.  ``seq`` is the commit word: 0 = never written,
+#: ``index + 1`` = message ``index`` is committed in this slot.  Readers
+#: treat any other value as "not mine yet".  ``state`` carries the
+#: retirement bits (RS_*), mirroring the free-list transport's MsgFlags.
+RSLOT = Record(
+    "RSLOT",
+    (
+        "seq",      # commit word: message index + 1, or 0
+        "length",   # payload bytes
+        "seqno",    # circuit sequence number (statistics / tracing)
+        "sender",   # pid of the sending process
+        "state",    # RS_* retirement bits
+        "busy",     # readers currently copying out of the slot
+    ),
+)
+
+#: Per-reader ring cursor, padded to its own cache line (mpsoc's
+#: ``mpsoc_reader_index``): ``next_seq`` is the next message index this
+#: BROADCAST reader will consume; ``nreads`` counts deliveries.
+RCUR = Record("RCUR", ("next_seq", "nreads"), tail_bytes=CACHE_LINE - 8)
+
+#: ``state`` bits of a ring slot.
+RS_FCFS_AVAILABLE = 1  #: must be (or may yet be) taken by an FCFS receiver
+RS_FCFS_TAKEN = 2      #: an FCFS receiver consumed it
+RS_RETIRED = 4         #: fully discharged; counted out of nmsgs, reusable
+
+#: Byte offset of the per-slot pending bitmap: a u32 alone on the slot's
+#: second cache line (mpsoc puts ``bitmap`` on its own line so the
+#: writer's completion poll never collides with payload reads).
+RSLOT_PENDING_OFF = CACHE_LINE
+
+#: Byte offset of the payload inside a slot.
+RSLOT_DATA_OFF = 2 * CACHE_LINE
+
+
+def ring_slot_stride(slot_bytes: int) -> int:
+    """Bytes one ring slot occupies: header line + bitmap line + payload
+    rounded up to whole cache lines."""
+    data = (slot_bytes + CACHE_LINE - 1) & ~(CACHE_LINE - 1)
+    return RSLOT_DATA_OFF + data

@@ -1,0 +1,271 @@
+"""Unit and cross-runtime tests for the ring-buffer transport.
+
+The op-level tests drive :func:`repro.core.ops.message_send` /
+``message_receive`` on ring circuits through a
+:class:`repro.testing.DirectRunner`; the runtime tests run small
+multi-process workloads on the simulator (and, on POSIX, the thread and
+process runtimes) and assert the two transports deliver identically.
+
+BROADCAST readers join at the ring *tail* — they hear only messages
+claimed after their ``open_receive`` — so every multi-process workload
+here uses a ready handshake before traffic starts, exactly like the
+paper's own benchmark programs.
+"""
+
+import sys
+
+import pytest
+
+from repro.core import ops
+from repro.core.errors import BufferOverflowError, OutOfDescriptorsError
+from repro.core.inspect import check_invariants, inspect_segment
+from repro.core.layout import MPFConfig
+from repro.core.protocol import BROADCAST, FCFS
+from repro.core.structs import RING_READERS
+from repro.runtime.sim import SimRuntime
+from repro.testing import BlockedError, DirectRunner, make_view
+
+
+def ring_view(**overrides):
+    defaults = dict(transport="ring", ring_slots=4, ring_slot_bytes=64)
+    defaults.update(overrides)
+    return make_view(**defaults)
+
+
+# ---------------------------------------------------------------------------
+# op-level semantics (DirectRunner)
+# ---------------------------------------------------------------------------
+
+
+def test_broadcast_roundtrip():
+    view = ring_view()
+    runner = DirectRunner(view)
+    runner.run(ops.open_receive(view, 1, "c", BROADCAST))
+    cid = runner.run(ops.open_send(view, 0, "c"))
+    runner.run(ops.message_send(view, 0, cid, b"hello ring"))
+    assert runner.run(ops.message_receive(view, 1, cid)) == b"hello ring"
+
+
+def test_wrap_preserves_fifo_order():
+    # 20 messages through a 4-slot ring: every slot is reused five
+    # times; the commit word (generation) must keep them ordered.
+    view = ring_view(ring_slots=4)
+    runner = DirectRunner(view)
+    cid = runner.run(ops.open_receive(view, 1, "c", BROADCAST))
+    runner.run(ops.open_send(view, 0, "c"))
+    for round_ in range(5):
+        for i in range(4):
+            payload = bytes([round_, i])
+            runner.run(ops.message_send(view, 0, cid, payload))
+        for i in range(4):
+            got = runner.run(ops.message_receive(view, 1, cid))
+            assert got == bytes([round_, i])
+
+
+def test_full_ring_blocks_sender_and_preserves_for_fcfs_joiner():
+    # With no receivers connected, ring messages keep their FCFS
+    # obligation for a future joiner (paper semantics), so the ring
+    # fills: the (nslots+1)-th send parks on the slot's channel.
+    view = ring_view(ring_slots=4)
+    runner = DirectRunner(view)
+    cid = runner.run(ops.open_send(view, 0, "c"))
+    for i in range(4):
+        runner.run(ops.message_send(view, 0, cid, bytes([i])))
+    with pytest.raises(BlockedError):
+        runner.run(ops.message_send(view, 0, cid, b"\xff"))
+    # A late FCFS joiner drains the preserved messages, freeing slots.
+    runner.run(ops.open_receive(view, 1, "c", FCFS))
+    for i in range(4):
+        assert runner.run(ops.message_receive(view, 1, cid)) == bytes([i])
+    runner.run(ops.message_send(view, 0, cid, b"\xff"))
+    assert runner.run(ops.message_receive(view, 1, cid)) == b"\xff"
+
+
+def test_oversize_send_raises():
+    view = ring_view(ring_slot_bytes=16)
+    runner = DirectRunner(view)
+    cid = runner.run(ops.open_send(view, 0, "c"))
+    runner.run(ops.message_send(view, 0, cid, b"x" * 16))  # exactly fits
+    with pytest.raises(BufferOverflowError):
+        runner.run(ops.message_send(view, 0, cid, b"x" * 17))
+
+
+def test_receive_max_len_rejects_without_consuming():
+    view = ring_view()
+    runner = DirectRunner(view)
+    cid = runner.run(ops.open_receive(view, 1, "c", BROADCAST))
+    runner.run(ops.open_send(view, 0, "c"))
+    runner.run(ops.message_send(view, 0, cid, b"0123456789"))
+    with pytest.raises(BufferOverflowError):
+        runner.run(ops.message_receive(view, 1, cid, max_len=4))
+    assert runner.run(ops.message_receive(view, 1, cid)) == b"0123456789"
+
+
+def test_per_name_transport_override():
+    view = make_view(transports=(("fast", "ring"),))
+    runner = DirectRunner(view)
+    runner.run(ops.open_send(view, 0, "fast"))
+    runner.run(ops.open_send(view, 0, "slow"))
+    kinds = {c.name: c.transport for c in inspect_segment(view).circuits}
+    assert kinds == {"fast": "ring", "slow": "freelist"}
+
+
+def test_reader_bitmap_exhaustion():
+    view = ring_view(max_processes=RING_READERS + 2,
+                     max_lnvcs=4, max_messages=8)
+    runner = DirectRunner(view)
+    for pid in range(RING_READERS):
+        runner.run(ops.open_receive(view, pid, "c", BROADCAST))
+    with pytest.raises(OutOfDescriptorsError):
+        runner.run(ops.open_receive(view, RING_READERS, "c", BROADCAST))
+    # FCFS receivers don't occupy bitmap bits, so one still connects.
+    runner.run(ops.open_receive(view, RING_READERS, "c", FCFS))
+
+
+def test_broadcast_fast_path_skips_the_lock():
+    # A warm BROADCAST receive takes a committed slot lock-free: the
+    # charge stream shows the cursor bump and never the in-lock claim.
+    view = ring_view()
+    runner = DirectRunner(view)
+    cid = runner.run(ops.open_receive(view, 1, "c", BROADCAST))
+    runner.run(ops.open_send(view, 0, "c"))
+    runner.run(ops.message_send(view, 0, cid, b"cold"))
+    runner.run(ops.message_receive(view, 1, cid))  # cold: caches the desc
+    runner.run(ops.message_send(view, 0, cid, b"warm"))
+    before = len(runner.charged)
+    assert runner.run(ops.message_receive(view, 1, cid)) == b"warm"
+    labels = [w.label for w in runner.charged[before:]]
+    assert "ring-cursor" in labels
+    assert "ring-claim" not in labels
+
+
+def test_slot_generation_not_redelivered():
+    # After a wrap, a reader whose cursor already passed a slot must not
+    # see the slot's *new* occupant as its old sequence number: seqnos
+    # observed by check_receive stay strictly increasing.
+    view = ring_view(ring_slots=2)
+    runner = DirectRunner(view)
+    cid = runner.run(ops.open_receive(view, 1, "c", BROADCAST))
+    runner.run(ops.open_send(view, 0, "c"))
+    payloads = []
+    for i in range(8):
+        runner.run(ops.message_send(view, 0, cid, bytes([i])))
+        payloads.append(runner.run(ops.message_receive(view, 1, cid)))
+    assert payloads == [bytes([i]) for i in range(8)]
+    # Nothing left: one more receive would block, not re-deliver.
+    with pytest.raises(BlockedError):
+        runner.run(ops.message_receive(view, 1, cid))
+
+
+@pytest.mark.parametrize("transport", ["freelist", "ring"])
+def test_invariants_hold_after_traffic(transport):
+    view = make_view(transport=transport, ring_slots=4, ring_slot_bytes=32)
+    runner = DirectRunner(view)
+    cid = runner.run(ops.open_receive(view, 1, "c", BROADCAST))
+    runner.run(ops.open_receive(view, 2, "c", FCFS))
+    runner.run(ops.open_send(view, 0, "c"))
+    for i in range(6):
+        runner.run(ops.message_send(view, 0, cid, bytes([i])))
+        assert runner.run(ops.message_receive(view, 1, cid)) == bytes([i])
+        assert runner.run(ops.message_receive(view, 2, cid)) == bytes([i])
+    check_invariants(view, level="final")
+    runner.run(ops.close_receive(view, 1, cid))
+    runner.run(ops.close_receive(view, 2, cid))
+    runner.run(ops.close_send(view, 0, cid))
+    check_invariants(view, level="final", expect_empty=True)
+
+
+# ---------------------------------------------------------------------------
+# runtime workloads (concurrent schedules)
+# ---------------------------------------------------------------------------
+
+_MSGS = 12
+
+
+def _fan_workers(n_fcfs=1, n_bcast=2):
+    """1 sender -> mixed receivers, with a ready handshake."""
+    n_ready = n_fcfs + n_bcast
+
+    def sender(env):
+        data = yield from env.open_send("data")
+        rdy = yield from env.open_receive("rdy", FCFS)
+        for _ in range(n_ready):
+            yield from env.message_receive(rdy)
+        for i in range(_MSGS):
+            yield from env.message_send(data, b"m%d" % i)
+        yield from env.close_receive(rdy)
+        yield from env.close_send(data)
+        return "sent"
+
+    def receiver(proto, quota):
+        def body(env):
+            data = yield from env.open_receive("data", proto)
+            rdy = yield from env.open_send("rdy")
+            yield from env.message_send(rdy, b"!")
+            got = []
+            for _ in range(quota):
+                got.append(bytes((yield from env.message_receive(data))))
+            yield from env.close_receive(data)
+            yield from env.close_send(rdy)
+            return got
+
+        return body
+
+    return ([sender]
+            + [receiver(FCFS, _MSGS // n_fcfs)] * n_fcfs
+            + [receiver(BROADCAST, _MSGS)] * n_bcast)
+
+
+def _ring_cfg(**overrides):
+    defaults = dict(max_lnvcs=4, max_processes=8, max_messages=64,
+                    message_pool_bytes=1 << 14, transport="ring",
+                    ring_slots=4, ring_slot_bytes=32)
+    defaults.update(overrides)
+    return MPFConfig(**defaults)
+
+
+def _check_fan(result, n_fcfs=1, n_bcast=2):
+    sent = [b"m%d" % i for i in range(_MSGS)]
+    fcfs_got = sorted(sum((result.results[f"p{1 + k}"]
+                           for k in range(n_fcfs)), []))
+    assert fcfs_got == sorted(sent)
+    for k in range(n_bcast):
+        assert result.results[f"p{1 + n_fcfs + k}"] == sent
+
+
+def test_sim_mixed_fan_over_tiny_ring():
+    rt = SimRuntime()
+    result = rt.run(_fan_workers(), cfg=_ring_cfg())
+    _check_fan(result)
+    check_invariants(rt.last_view, level="final", expect_empty=True)
+
+
+def test_sim_two_fcfs_share_the_ring():
+    rt = SimRuntime()
+    result = rt.run(_fan_workers(n_fcfs=2, n_bcast=1),
+                    cfg=_ring_cfg(ring_slots=2))
+    _check_fan(result, n_fcfs=2, n_bcast=1)
+    check_invariants(rt.last_view, level="final", expect_empty=True)
+
+
+@pytest.mark.parametrize("transport", ["freelist", "ring"])
+def test_sim_transports_deliver_identically(transport):
+    rt = SimRuntime()
+    result = rt.run(_fan_workers(), cfg=_ring_cfg(transport=transport))
+    _check_fan(result)
+    assert result.header["live_msgs"] == 0
+    assert result.header["live_lnvcs"] == 0
+
+
+@pytest.mark.skipif(not sys.platform.startswith("linux"),
+                    reason="POSIX runtimes")
+@pytest.mark.parametrize("kind", ["threads", "procs"])
+def test_real_runtimes_ring_parity(kind):
+    from repro.runtime.procs import ProcRuntime
+    from repro.runtime.threads import ThreadRuntime
+
+    rt = (ThreadRuntime(join_timeout=60) if kind == "threads"
+          else ProcRuntime(join_timeout=60))
+    result = rt.run(_fan_workers(), cfg=_ring_cfg())
+    _check_fan(result)
+    assert result.header["live_msgs"] == 0

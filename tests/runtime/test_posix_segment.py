@@ -56,6 +56,22 @@ def test_attach_sees_creator_state():
         seg.unlink()
 
 
+def test_ring_transport_over_named_segment():
+    cfg = MPFConfig(transport="ring", ring_slots=4, ring_slot_bytes=32,
+                    **CFG)
+    with PosixSegment.create(fresh_name(), cfg) as seg:
+        mpf = seg.client(0)
+        cid = mpf.open_send("loop")
+        mpf.open_receive("loop", FCFS)
+        # 8 messages through 4 slots: the ring wraps on a real shm
+        # segment with flock-file locks, same semantics as in-memory.
+        for i in range(8):
+            mpf.message_send(cid, b"slot %d" % i)
+            assert mpf.message_receive(cid) == b"slot %d" % i
+        mpf.close_send(cid)
+        mpf.close_receive(cid)
+
+
 def test_attach_validates_config():
     name = fresh_name()
     seg = PosixSegment.create(name, MPFConfig(**CFG))
