@@ -4,8 +4,14 @@ PY ?= python
 # Point-runner processes for figure sweeps; output is byte-identical to
 # a serial run (each point is an independent deterministic simulation).
 JOBS ?= 4
+# Section-fusion escape hatch: `make figures FUSION=off` forces the
+# unfused effect-per-event engine paths.  Output is byte-identical
+# either way (the fused engine's acceptance gate); the knob exists for
+# debugging and A/B timing.
+FUSION ?= on
 
-.PHONY: install test bench shapes figures figures-quick check trace-smoke clean
+.PHONY: install test bench shapes figures figures-quick check trace-smoke \
+	profile clean
 
 install:
 	pip install -e '.[dev]' || pip install -e '.[dev]' --no-build-isolation
@@ -50,16 +56,24 @@ trace-smoke:
 	print(f'trace smoke ok: flow edges {edges}')"
 
 figures:
-	$(PY) -m repro.bench all --jobs $(JOBS) --json figures_full.json | tee figures_full.txt
+	MPF_FUSION=$(FUSION) $(PY) -m repro.bench all --jobs $(JOBS) \
+		--json figures_full.json | tee figures_full.txt
 
 figures-quick:
-	$(PY) -m repro.bench all --quick --plot
+	MPF_FUSION=$(FUSION) $(PY) -m repro.bench all --quick --plot
 
 # Re-measure against the committed archive (figures_full.json is reused
 # as the reference, not regenerated).
 compare:
-	$(PY) -m repro.bench all --jobs $(JOBS) --json /tmp/mpf_after.json >/dev/null && \
+	MPF_FUSION=$(FUSION) $(PY) -m repro.bench all --jobs $(JOBS) \
+		--json /tmp/mpf_after.json >/dev/null && \
 	$(PY) -m repro.bench.compare figures_full.json /tmp/mpf_after.json
+
+# cProfile one figure plus the hottest-effect-label report.
+# `make profile FIG=fig6 FUSION=off` profiles the unfused paths.
+FIG ?= fig7
+profile:
+	MPF_FUSION=$(FUSION) $(PY) -m repro.bench profile $(FIG) --quick --top 10
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache \

@@ -207,21 +207,43 @@ def profile_main(argv: list[str]) -> int:
         "--out", metavar="PATH",
         help="also dump raw profile stats (readable with pstats)",
     )
+    parser.add_argument(
+        "--top", type=int, default=0, metavar="N",
+        help="also report the N hottest effect labels (charge count and "
+        "charged simulated seconds across every engine the figure runs)",
+    )
     args = parser.parse_args(argv)
 
     import cProfile
     import pstats
 
+    from ..machine.engine import disable_label_profile, enable_label_profile
+
+    labels = enable_label_profile() if args.top else None
     pr = cProfile.Profile()
     t0 = time.perf_counter()
     pr.enable()
-    result = FIGURES[args.figure](args.quick)  # profiling is always serial
-    pr.disable()
+    try:
+        result = FIGURES[args.figure](args.quick)  # profiling is always serial
+    finally:
+        pr.disable()
+        if labels is not None:
+            disable_label_profile()
     wall = time.perf_counter() - t0
     print(result.format_table())
     print(f"  [{wall:.1f}s wall under the profiler]\n")
     stats = pstats.Stats(pr)
     stats.sort_stats(args.sort).print_stats(args.limit)
+    if labels is not None:
+        total_n = sum(v[0] for v in labels.values()) or 1
+        total_s = sum(v[1] for v in labels.values()) or 1.0
+        print(f"hottest effect labels ({args.figure}):")
+        print(f"  {'label':<16} {'charges':>10} {'%':>6} "
+              f"{'sim seconds':>12} {'%':>6}")
+        ranked = sorted(labels.items(), key=lambda kv: kv[1][1], reverse=True)
+        for label, (n, secs) in ranked[: args.top]:
+            print(f"  {label:<16} {n:>10} {100 * n / total_n:>5.1f}% "
+                  f"{secs:>12.6f} {100 * secs / total_s:>5.1f}%")
     if args.out:
         stats.dump_stats(args.out)
         print(f"wrote {args.out}")

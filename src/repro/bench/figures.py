@@ -61,6 +61,7 @@ __all__ = [
     "ablation_transport_bcast",
     "ablation_transport_random",
     "study_paradigm",
+    "reset_run_cache",
     "FIGURES",
     "CONTENTION",
 ]
@@ -95,6 +96,60 @@ def _causal_extras(tracer) -> dict:
     }
 
 
+# ---------------------------------------------------------------------------
+# Shared-run sweep runner (the vectorized layer of the epoch-fused
+# engine work).  Several sweeps describe the *same* simulation and
+# differ only in which columns they report: ablation_transport_fcfs's
+# free-list points are fig4's points re-measured, _bcast's are fig5's,
+# _random's 1024B column is fig6's.  Recorders are observational —
+# attaching one never changes simulated timing (the fig3 causal
+# acceptance check pins this) — so the runner executes each distinct
+# schedule ONCE with the superset instrumentation
+# (``Recorder(limit=0, causal=True)``) and every figure derives its own
+# columns (throughput, lock waits, causal latencies, page faults) from
+# the cached run.  The memo is per process: with ``--jobs`` each pool
+# worker keeps its own, so sharing degrades gracefully but output stays
+# byte-identical.
+# ---------------------------------------------------------------------------
+
+_RUN_MEMO: dict = {}
+
+#: Instrumentation levels, ordered so a cached higher-level run can
+#: always serve a lower-level request (recorders are observational).
+_REC_NONE, _REC_LOCK, _REC_CAUSAL = 0, 1, 2
+
+
+def reset_run_cache() -> None:
+    """Drop memoized measurement runs (tests re-measure after toggles)."""
+    _RUN_MEMO.clear()
+
+
+def _measured_run(fn, n: int, length: int, msgs: int, transport: str,
+                  level: int):
+    """One simulation per distinct sweep point, instrumented to order.
+
+    Returns ``(m, recorder_or_None)`` for ``fn(n, length, ...)`` on the
+    default machine, memoized on the complete simulation identity.  A
+    cached run instrumented at ``level`` or higher is served as-is; a
+    request for *more* instrumentation re-runs and upgrades the entry
+    (figures that know a later sweep will revisit their points request
+    the union level up front, so upgrades are rare).  Only points on
+    the stock :data:`BALANCE_21000` go through here — machine-variant
+    sweeps (paging/cache ablations) keep their direct calls.
+    """
+    key = (fn.__name__, n, length, msgs, transport)
+    hit = _RUN_MEMO.get(key)
+    if hit is None or hit[0] < level:
+        rec = None
+        if level == _REC_LOCK:
+            rec = Recorder(limit=0)
+        elif level == _REC_CAUSAL:
+            rec = Recorder(limit=0, causal=True)
+        m = fn(n, length, messages=msgs, recorder=rec, transport=transport)
+        hit = _RUN_MEMO[key] = (level, m, rec)
+    return hit[1], hit[2]
+
+
 def _fig3_point(msgs: int, length: int, causal: bool = False,
                 transport: str = "freelist") -> tuple[float, dict]:
     # With causal=True a tracer rides along (limit=0 skips span
@@ -107,15 +162,19 @@ def _fig3_point(msgs: int, length: int, causal: bool = False,
 
 
 def _receiver_point(fn, length: int, msgs: int, contention: bool,
-                    n: int, transport: str = "freelist") -> tuple[float, dict]:
+                    n: int, transport: str = "freelist",
+                    share=frozenset()) -> tuple[float, dict]:
+    # ``share`` lists the (n, length) pairs the transport ablations will
+    # revisit: those run at causal level so the later sweep is a cache
+    # hit instead of a re-simulation.
+    if (n, length) in share:
+        level = _REC_CAUSAL
+    else:
+        level = _REC_LOCK if contention else _REC_NONE
+    m, rec = _measured_run(fn, n, length, msgs, transport, level)
     extra = {}
-    rec = None
     if contention:
-        # Counters only (limit=0 skips span recording); the circuit-lock
-        # aggregate becomes the row's extras.
-        rec = Recorder(limit=0)
-    m = fn(n, length, messages=msgs, recorder=rec, transport=transport)
-    if rec is not None:
+        # The circuit-lock aggregate becomes the row's extras.
         agg = rec.circuit_lock_stats()
         extra = {
             "lnvc_wait_ms": round(1e3 * agg.wait_seconds, 3),
@@ -127,7 +186,8 @@ def _receiver_point(fn, length: int, msgs: int, contention: bool,
 
 def _fig6_point(msgs: int, length: int, p: int,
                 transport: str = "freelist") -> tuple[float, dict]:
-    m = random_throughput(p, length, messages=msgs, transport=transport)
+    m, _ = _measured_run(random_throughput, p, length, msgs, transport,
+                         _REC_NONE)
     return m.throughput, {"faults": m.run.report.page_faults}
 
 
@@ -167,11 +227,18 @@ def _receiver_sweep(kind: str, fn, quick: bool, jobs: int,
     )
     counts = (1, 4, 8, 16) if quick else (1, 2, 4, 6, 8, 10, 12, 14, 16)
     msgs = 32 if quick else 96
+    # The transport ablations (_transport_sweep) re-measure this sweep's
+    # free-list points at these (n, length) pairs; pre-instrumenting
+    # them at causal level turns the ablation's half into cache hits.
+    abl_counts = (1, 4, 8, 16) if quick else (1, 2, 4, 8, 12, 16)
+    share = frozenset(
+        (n, length) for n in abl_counts for length in (16, 1024)
+    ) if transport == "freelist" else frozenset()
     for length in (16, 128, 1024):
         run_series(
             result, f"{length}B", counts,
             partial(_receiver_point, fn, length, msgs, contention,
-                    transport=transport),
+                    transport=transport, share=share),
             jobs=jobs,
         )
     if transport != "freelist":
@@ -627,8 +694,7 @@ def _transport_point(fn, length: int, msgs: int, transport: str,
                      n: int) -> tuple[float, dict]:
     """One head-to-head point: throughput plus the lock-wait and causal
     latency columns that explain it (simulator only)."""
-    rec = Recorder(limit=0, causal=True)
-    m = fn(n, length, messages=msgs, recorder=rec, transport=transport)
+    m, rec = _measured_run(fn, n, length, msgs, transport, _REC_CAUSAL)
     agg = rec.circuit_lock_stats()
     extra = {
         "lnvc_wait_ms": round(1e3 * agg.wait_seconds, 3),
@@ -641,7 +707,8 @@ def _transport_point(fn, length: int, msgs: int, transport: str,
 
 def _transport_random_point(msgs: int, length: int, transport: str,
                             p: int) -> tuple[float, dict]:
-    m = random_throughput(p, length, messages=msgs, transport=transport)
+    m, _ = _measured_run(random_throughput, p, length, msgs, transport,
+                         _REC_NONE)
     return m.throughput, {"faults": m.run.report.page_faults}
 
 

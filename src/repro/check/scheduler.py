@@ -23,7 +23,7 @@ from typing import Callable, Iterable, Sequence
 from ..core.costmodel import DEFAULT_COSTS
 from ..core.errors import DeadlockSuspectedError, MPFError
 from ..core.layout import SegmentLayout, format_region
-from ..core.ops import MPFView
+from ..core.ops import MPFView, fusion_enabled
 from ..core.region import SharedRegion
 from ..machine.engine import DeadlockError, Engine, SimulationError, ZeroTimingModel
 from ..runtime.base import Env
@@ -196,6 +196,12 @@ def run_schedule(
     region = SharedRegion(bytearray(SegmentLayout(cfg).total_size))
     layout = format_region(region, cfg)
     view = MPFView(region, layout, DEFAULT_COSTS)
+    # Fusion stays on under the controlled scheduler: the engine parks
+    # every fused step as its own heap event there, so the policy sees
+    # the identical choice points (and decision traces replay) either
+    # way — while the checker exercises the same fused code paths the
+    # figure runs use.
+    view.fuse = fusion_enabled()
     probe = SteadyProbe(view) if check_steady else None
     ctl = ControlledPolicy(policy, probe=probe)
     engine = Engine(

@@ -35,7 +35,65 @@ from dataclasses import dataclass
 
 from .work import Work
 
-__all__ = ["Acquire", "Release", "Charge", "ChargeMany", "WaitOn", "Wake", "Effect"]
+__all__ = [
+    "Acquire",
+    "Release",
+    "Charge",
+    "ChargeMany",
+    "WaitOn",
+    "Wake",
+    "FusedSection",
+    "Effect",
+    "S_CHARGE",
+    "S_MANY",
+    "S_ACQ",
+    "S_REL",
+    "S_WAKE",
+    "S_CALL",
+    "D_RESULT",
+    "D_SPLICE",
+    "D_RESULT_SPLICE",
+    "D_BAIL",
+]
+
+# -- fused-section step opcodes and call directives -------------------------
+#
+# A FusedSection's ``steps`` are small ``(opcode, arg)`` tuples.  Plain
+# ints (not an Enum) keep the simulator's per-step dispatch at a couple of
+# machine comparisons — these run once per protocol step, millions of
+# times per figure sweep.
+
+#: ``(S_CHARGE, work)`` — one :class:`Charge` event.
+S_CHARGE = 0
+#: ``(S_MANY, works)`` — one :class:`ChargeMany` event (compute-only parts).
+S_MANY = 1
+#: ``(S_ACQ, lock_id)`` — one :class:`Acquire` event (may block).
+S_ACQ = 2
+#: ``(S_REL, lock_id)`` — one :class:`Release` event.
+S_REL = 3
+#: ``(S_WAKE, chan)`` — one :class:`Wake` event.
+S_WAKE = 4
+#: ``(S_CALL, fn)`` — run ``fn()`` at the current instant (no event, no
+#: simulated time): the generator-body code that would execute between
+#: two yields in the unfused sequence.  ``fn`` returns ``None`` or a
+#: directive tuple (below).
+S_CALL = 5
+
+#: ``(D_RESULT, value)`` — set the section's result (sent into the
+#: generator when the section completes).
+D_RESULT = 0
+#: ``(D_SPLICE, steps)`` — splice more steps right after the call;
+#: how a body whose continuation depends on shared state (list walks,
+#: retirement reaps) extends the section it is part of.
+D_SPLICE = 1
+#: ``(D_RESULT_SPLICE, value, steps)`` — both at once.
+D_RESULT_SPLICE = 2
+#: ``(D_BAIL, value)`` — abandon the remaining steps and resume the
+#: generator *now* with ``value``.  The fusion guard: any precondition
+#: the fused fast path cannot handle (queue empty and a WaitOn must
+#: fire, a validation error, a full ring) bails back to the generator's
+#: classic unfused code with all acquired locks still held.
+D_BAIL = 3
 
 
 @dataclass(frozen=True, slots=True)
@@ -110,4 +168,37 @@ class Wake:
     chan: int
 
 
-Effect = Acquire | Release | Charge | ChargeMany | WaitOn | Wake
+@dataclass(frozen=True, slots=True)
+class FusedSection:
+    """An entire protocol section retired as one effect (sim engine only).
+
+    ``steps`` is a tuple of ``(opcode, arg)`` pairs (see the ``S_*``
+    constants above): the acquire + fixed charges + list/copy work +
+    release of one uncontended protocol step, interleaved with
+    ``S_CALL`` closures holding the generator-body code that runs
+    between the unfused yields.  The simulated engine executes the
+    whole section inline while no other process can interact — same
+    events, same clock arithmetic, same recorder/trace stream as the
+    unfused sequence, but one generator round-trip instead of ~10 —
+    and falls back to event-at-a-time stepping on lock contention, in
+    controlled-scheduler runs, or when a call bails (``D_BAIL``).
+
+    Conventions that keep fused and unfused runs byte-identical:
+
+    * Only the sim engine sees this effect.  Primitives consult
+      ``view.fuse`` (set by :class:`~repro.runtime.sim.SimRuntime` and
+      the model checker only) and yield classic effects on the real
+      runtimes — and when ``MPF_FUSION=off``.
+    * ``S_WAKE`` steps must appear *statically* in ``steps`` as yielded
+      — never introduced by a splice — so fault injectors
+      (:func:`repro.check.faults.drop_wake`) can strip them; a wake
+      whose firing is conditional stays a classic :class:`Wake` yield.
+    * Copy charges (``copy_bytes > 0``) are allowed: the engine opens
+      and closes the bus-tracking copy phase at the same instants as
+      the unfused charge.
+    """
+
+    steps: tuple
+
+
+Effect = Acquire | Release | Charge | ChargeMany | WaitOn | Wake | FusedSection

@@ -28,7 +28,15 @@ _heappush = heapq.heappush
 from dataclasses import dataclass, field
 from typing import Callable, Generator, Protocol as TypingProtocol
 
-from ..core.effects import Acquire, Charge, ChargeMany, Release, WaitOn, Wake
+from ..core.effects import (
+    Acquire,
+    Charge,
+    ChargeMany,
+    FusedSection,
+    Release,
+    WaitOn,
+    Wake,
+)
 from ..core.work import Work
 
 __all__ = [
@@ -38,9 +46,31 @@ __all__ = [
     "ZeroTimingModel",
     "SimProcess",
     "Engine",
+    "enable_label_profile",
+    "disable_label_profile",
 ]
 
 ProcGen = Generator[object, object, object]
+
+#: Process-wide per-label charge aggregation, for ``python -m repro.bench
+#: profile --top N``: maps effect label -> [count, charged simulated
+#: seconds] while enabled, ``None`` (one global load per charge, no
+#: other cost) otherwise.  Engine-level rather than Recorder-level so it
+#: sees every engine any figure constructs internally.
+_LABEL_PROF: dict | None = None
+
+
+def enable_label_profile() -> dict:
+    """Start aggregating charges by label; returns the live dict."""
+    global _LABEL_PROF
+    _LABEL_PROF = {}
+    return _LABEL_PROF
+
+
+def disable_label_profile() -> None:
+    """Stop aggregating (and stop paying the per-charge dict update)."""
+    global _LABEL_PROF
+    _LABEL_PROF = None
 
 
 class SimulationError(RuntimeError):
@@ -134,6 +164,10 @@ class SimProcess:
     _blocked_since: float = 0.0
     #: True while the process is inside a Charge with copy_bytes > 0.
     _copying: bool = False
+    #: In-flight FusedSection state ``[steps, next_index, result]`` or
+    #: ``None``.  Present across parks: a fused process blocked on a
+    #: contended lock resumes mid-section when the lock is granted.
+    _fused: object = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimProcess({self.name!r}, pid={self.pid}, state={self.state})"
@@ -255,6 +289,18 @@ class Engine:
         # instead of a method call per acquire/release event.
         self._t_acquire = self.timing.acquire_cost()
         self._t_release = self.timing.release_cost()
+        #: Pending self-resume: when a handler merely reschedules the
+        #: process that just stepped (charge, uncontended acquire,
+        #: release, wake), it parks ``(time, proc)`` here instead of
+        #: pushing onto the heap.  The main loop — and the fused-section
+        #: interpreter — consume it inline whenever no other pending
+        #: event could fire first, turning long uncontended phases into
+        #: straight-line execution with zero heap traffic.
+        self._pend_t = -1.0
+        self._pend_proc: SimProcess | None = None
+        #: ``until`` bound of the active run() call (fast-forward must
+        #: not advance the clock past it).
+        self._until: float | None = None
 
     # -- process management --------------------------------------------------
 
@@ -282,13 +328,33 @@ class Engine:
         """
         if self._scheduler is not None:
             return self._run_controlled(until)
+        self._until = until
         # Hot loop: localize everything touched per event.
         heap = self._heap
         heappop = heapq.heappop
         stats = self.stats
         step = self._step
         max_events = self._max_events
-        while heap:
+        while True:
+            t = self._pend_t
+            if t >= 0.0:
+                # Uncontended fast-forward: the process that just stepped
+                # is the only thing scheduled before every heap entry, so
+                # resume it directly — same event count, same clock, no
+                # heap push/pop.  Ties go to the heap (its entries carry
+                # smaller sequence numbers than a fresh push would).
+                self._pend_t = -1.0
+                if (not heap or t < heap[0][0]) and (until is None or t <= until):
+                    self.now = t
+                    stats.events += 1
+                    if stats.events > max_events:
+                        raise SimulationError(f"exceeded {max_events} events")
+                    step(self._pend_proc)
+                    continue
+                self._seq += 1
+                _heappush(heap, (t, self._seq, self._pend_proc))
+            if not heap:
+                break
             if until is not None and heap[0][0] > until:
                 # Stop without consuming the future event: a later run()
                 # resumes exactly where this one paused.
@@ -321,6 +387,7 @@ class Engine:
         attach = getattr(sched, "attach", None)
         if attach is not None:
             attach(self)
+        self._until = until
         heap = self._heap
         heappop = heapq.heappop
         stats = self.stats
@@ -352,6 +419,14 @@ class Engine:
             if stats.events > self._max_events:
                 raise SimulationError(f"exceeded {self._max_events} events")
             self._step(entry[2])
+            t = self._pend_t
+            if t >= 0.0:
+                # Controlled mode never fast-forwards: every event goes
+                # through the heap so the policy sees every choice point
+                # the unfused engine would offer.
+                self._pend_t = -1.0
+                self._seq += 1
+                _heappush(heap, (t, self._seq, self._pend_proc))
         self._raise_if_stalled()
         return self.now
 
@@ -374,47 +449,200 @@ class Engine:
     # -- single step ----------------------------------------------------------
 
     def _step(self, proc: SimProcess) -> None:
-        if proc._copying:
-            # The charge that just completed was a copy phase.
-            proc._copying = False
-            self.timing.copy_finished()
-        try:
-            if proc._throw is not None:
-                exc, proc._throw = proc._throw, None
-                effect = proc.gen.throw(exc)
+        # A loop rather than a straight line: completing a FusedSection
+        # resumes the generator within the same event, and the effect it
+        # yields next (possibly another FusedSection) dispatches here too.
+        while True:
+            if proc._copying:
+                # The charge that just completed was a copy phase.
+                proc._copying = False
+                self.timing.copy_finished()
+            if proc._fused is not None and not self._advance_fused(proc):
+                return
+            try:
+                if proc._throw is not None:
+                    exc, proc._throw = proc._throw, None
+                    effect = proc.gen.throw(exc)
+                else:
+                    value, proc._inbox = proc._inbox, None
+                    effect = proc.gen.send(value)
+            except StopIteration as stop:
+                proc.state = _DONE
+                proc.result = stop.value
+                self._runnable -= 1
+                return
+            except BaseException as exc:
+                proc.state = _FAILED
+                proc.error = exc
+                self._runnable -= 1
+                raise
+            # Type-keyed dispatch, most frequent effect first.  Exact class
+            # checks (not isinstance chains) are the common case; effect
+            # subclasses fall through to the isinstance path in _dispatch.
+            cls = effect.__class__
+            if cls is FusedSection:
+                # The steps tuple is shared with the (possibly cached)
+                # effect and never mutated: a splice replaces the whole
+                # tuple in the state cell instead of editing in place.
+                proc._fused = [effect.steps, 0, None]
+                if self._advance_fused(proc):
+                    continue
+                return
+            if self._trace is not None:
+                self._dispatch(proc, effect)
+            elif cls is Charge:
+                self._do_charge(proc, effect.work)
+            elif cls is Acquire:
+                self._do_acquire(proc, effect.lock_id)
+            elif cls is Release:
+                self._do_release(proc, effect.lock_id)
+            elif cls is WaitOn:
+                self._do_wait(proc, effect.chan, effect.lock_id)
+            elif cls is Wake:
+                self._do_wake(proc, effect.chan)
+            elif cls is ChargeMany:
+                self._do_charge_many(proc, effect.works)
             else:
-                value, proc._inbox = proc._inbox, None
-                effect = proc.gen.send(value)
-        except StopIteration as stop:
-            proc.state = _DONE
-            proc.result = stop.value
-            self._runnable -= 1
+                self._dispatch(proc, effect)
             return
-        except BaseException as exc:
-            proc.state = _FAILED
-            proc.error = exc
-            self._runnable -= 1
-            raise
-        # Type-keyed dispatch, most frequent effect first.  Exact class
-        # checks (not isinstance chains) are the common case; effect
-        # subclasses fall through to the isinstance path in _dispatch.
-        cls = effect.__class__
-        if self._trace is not None:
-            self._dispatch(proc, effect)
-        elif cls is Charge:
-            self._do_charge(proc, effect.work)
-        elif cls is Acquire:
-            self._do_acquire(proc, effect.lock_id)
-        elif cls is Release:
-            self._do_release(proc, effect.lock_id)
-        elif cls is WaitOn:
-            self._do_wait(proc, effect.chan, effect.lock_id)
-        elif cls is Wake:
-            self._do_wake(proc, effect.chan)
-        elif cls is ChargeMany:
-            self._do_charge_many(proc, effect.works)
-        else:
-            self._dispatch(proc, effect)
+
+    def _advance_fused(self, proc: SimProcess) -> bool:
+        """Execute a :class:`FusedSection`'s remaining steps.
+
+        Returns ``True`` when the generator should be resumed *now*
+        (section complete, or a call bailed), ``False`` when the process
+        parked (a continuation was scheduled, or it blocked in a lock's
+        FIFO and the grant will resume the section).
+
+        Identity discipline — each time-advancing step:
+
+        * runs through the *same* effect handler the unfused engine
+          would use, so pricing, statistics, recorder hooks and
+          lock/channel state transitions are shared code, not replicas
+          (``S_CHARGE`` is the one exception: its handler body is
+          transcribed inline below, line for line, because charges are
+          the majority of all fused steps);
+        * costs exactly one ``stats.events`` tick.  On entry, the event
+          that resumed us (heap pop or inline fast-forward) has been
+          counted but not yet spent; the first time-advancing step
+          consumes it, later ones count their own.  Completing or
+          bailing with no unspent event adds the tick the generator
+          resume would have cost as its own heap pop;
+        * executes at the completion instant of the previous step —
+          the same clock value at which the unfused generator's body
+          would run between the two yields.
+
+        Steps continue inline only while the next resume time strictly
+        precedes every heap entry (ties go to the heap: existing entries
+        hold smaller sequence numbers than a fresh push would get, so
+        FIFO order is preserved).  On contention — the pending slot left
+        empty because :meth:`_do_acquire` parked us — the section
+        freezes mid-way and the lock grant resumes it step by step, the
+        fall-back the fusion guard promises.  Under a controlled
+        scheduler every step parks, so the policy sees the identical
+        choice points as unfused stepping.
+        """
+        state = proc._fused
+        steps = state[0]
+        n = len(steps)
+        idx = state[1]
+        stats = self.stats
+        heap = self._heap
+        trace = self._trace
+        until = self._until
+        ctl = self._scheduler is not None
+        timing = self.timing
+        recorder = self._recorder
+        external = True
+        now = self.now
+        while True:
+            if idx >= n:
+                proc._fused = None
+                proc._inbox = state[2]
+                if not external:
+                    stats.events += 1
+                return True
+            op, arg = steps[idx]
+            idx += 1
+            state[1] = idx
+            if op == 5:  # S_CALL: body code, free, at the current instant
+                d = arg()
+                if d is not None:
+                    k = d[0]
+                    if k == 0:  # D_RESULT
+                        state[2] = d[1]
+                    elif k == 1:  # D_SPLICE
+                        steps = steps[:idx] + d[1] + steps[idx:]
+                        state[0] = steps
+                        n = len(steps)
+                    elif k == 2:  # D_RESULT_SPLICE
+                        state[2] = d[1]
+                        steps = steps[:idx] + d[2] + steps[idx:]
+                        state[0] = steps
+                        n = len(steps)
+                    else:  # D_BAIL
+                        proc._fused = None
+                        proc._inbox = d[1]
+                        if not external:
+                            stats.events += 1
+                        return True
+                continue
+            if external:
+                external = False
+            else:
+                stats.events += 1
+            if op == 0:  # S_CHARGE — _do_charge inlined (hottest step kind)
+                if trace is not None:
+                    trace(now, proc.name, f"Charge(work={arg!r})")
+                dt = timing.price(arg, self._runnable)
+                if arg.copy_bytes > 0:
+                    proc._copying = True
+                    timing.copy_started()
+                stats.charges += 1
+                stats.charged_seconds += dt
+                if _LABEL_PROF is not None:
+                    e = _LABEL_PROF.get(arg.label)
+                    if e is None:
+                        _LABEL_PROF[arg.label] = [1, dt]
+                    else:
+                        e[0] += 1
+                        e[1] += dt
+                if recorder is not None:
+                    recorder.on_charge(now + dt, proc.name, arg.label,
+                                       dt, arg.instrs, arg.flops)
+                t = now + dt
+            else:
+                if op == 2:  # S_ACQ
+                    if trace is not None:
+                        trace(now, proc.name, f"Acquire(lock_id={arg})")
+                    self._do_acquire(proc, arg)
+                elif op == 3:  # S_REL
+                    if trace is not None:
+                        trace(now, proc.name, f"Release(lock_id={arg})")
+                    self._do_release(proc, arg)
+                elif op == 1:  # S_MANY (handler traces per part itself)
+                    self._do_charge_many(proc, arg)
+                elif op == 4:  # S_WAKE
+                    if trace is not None:
+                        trace(now, proc.name, f"Wake(chan={arg})")
+                    self._do_wake(proc, arg)
+                else:
+                    raise SimulationError(f"bad fused step opcode {op!r}")
+                t = self._pend_t
+                if t < 0.0:
+                    # Contended acquire: we are in the lock's waiter FIFO
+                    # with the index already past the acquire step; the
+                    # grant's heap entry restarts this interpreter.
+                    return False
+                self._pend_t = -1.0
+            if ctl or (heap and heap[0][0] <= t) or (until is not None and t > until):
+                self._seq += 1
+                _heappush(heap, (t, self._seq, proc))
+                return False
+            self.now = now = t
+            if proc._copying:
+                proc._copying = False
+                timing.copy_finished()
 
     def _dispatch(self, proc: SimProcess, effect: object) -> None:
         """Traced / subclass dispatch path (the pre-fast-path semantics)."""
@@ -453,13 +681,20 @@ class Engine:
         stats = self.stats
         stats.charges += 1
         stats.charged_seconds += dt
+        if _LABEL_PROF is not None:
+            e = _LABEL_PROF.get(work.label)
+            if e is None:
+                _LABEL_PROF[work.label] = [1, dt]
+            else:
+                e[0] += 1
+                e[1] += dt
         if self._recorder is not None:
             # Stamp the charge at its end so exported spans cover
             # [now, now + dt] once the recorder subtracts the duration.
             self._recorder.on_charge(self.now + dt, proc.name, work.label,
                                      dt, work.instrs, work.flops)
-        self._seq += 1
-        _heappush(self._heap, (self.now + dt, self._seq, proc))
+        self._pend_t = self.now + dt
+        self._pend_proc = proc
 
     def _do_charge_many(self, proc: SimProcess, works: tuple[Work, ...]) -> None:
         """Price several adjacent charges as one scheduler event.
@@ -487,13 +722,20 @@ class Engine:
             stats.charges += 1
             stats.charged_seconds += dt
             t = t + dt
+            if _LABEL_PROF is not None:
+                e = _LABEL_PROF.get(work.label)
+                if e is None:
+                    _LABEL_PROF[work.label] = [1, dt]
+                else:
+                    e[0] += 1
+                    e[1] += dt
             if recorder is not None:
                 recorder.on_charge(t, proc.name, work.label,
                                    dt, work.instrs, work.flops)
         stats.events += len(works) - 1
-        # Schedule at the absolute accumulated time (not now + total).
-        self._seq += 1
-        heapq.heappush(self._heap, (t, self._seq, proc))
+        # Resume at the absolute accumulated time (not now + total).
+        self._pend_t = t
+        self._pend_proc = proc
 
     def _lock(self, lock_id: int) -> _SimLock:
         try:
@@ -519,8 +761,8 @@ class Engine:
             if self._recorder is not None:
                 self._recorder.on_acquire(self.now, proc.name, lock_id,
                                           0.0, contended=False)
-            self._seq += 1
-            _heappush(self._heap, (self.now + self._t_acquire, self._seq, proc))
+            self._pend_t = self.now + self._t_acquire
+            self._pend_proc = proc
         else:
             if lock.owner is proc:
                 raise SimulationError(
@@ -549,8 +791,8 @@ class Engine:
             self._grant_next(lock_id, lock)
         else:
             lock.owner = None
-        self._seq += 1
-        _heappush(self._heap, (self.now + self._t_release, self._seq, proc))
+        self._pend_t = self.now + self._t_release
+        self._pend_proc = proc
 
     def _grant_next(self, lock_id: int, lock: _SimLock) -> None:
         """Hand the lock to its next FIFO waiter (or leave it free)."""
@@ -636,6 +878,5 @@ class Engine:
                 sleeper.state = _WAIT_LOCK
                 sleeper._implicit_reacquire = True
                 lock.waiters.append(sleeper)
-        self._seq += 1
-        _heappush(self._heap, (self.now + self.timing.wake_cost(n),
-                               self._seq, proc))
+        self._pend_t = self.now + self.timing.wake_cost(n)
+        self._pend_proc = proc
