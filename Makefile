@@ -11,7 +11,7 @@ JOBS ?= 4
 FUSION ?= on
 
 .PHONY: install test bench shapes figures figures-quick check trace-smoke \
-	profile clean
+	serve profile clean
 
 install:
 	pip install -e '.[dev]' || pip install -e '.[dev]' --no-build-isolation
@@ -33,6 +33,7 @@ check:
 	$(PY) -m repro.check explore --scenario connect-churn --seeds 200
 	$(PY) -m repro.check explore --scenario freelist-churn --seeds 200
 	$(PY) -m repro.check explore --scenario mixed-protocol --seeds 200
+	$(PY) -m repro.check explore --scenario shard-steal --seeds 200
 	$(PY) -m repro.check explore --scenario ring-wrap --seeds 200
 	$(PY) -m repro.check explore --scenario ring-wrap --seeds 200 --policy dfs
 	$(PY) -m repro.check explore --scenario fcfs-race --seeds 200 --fault torn-send --expect-fail
@@ -54,6 +55,26 @@ trace-smoke:
 	         for k in ('sim', 'procs')]; \
 	assert min(edges) > 0, edges; \
 	print(f'trace smoke ok: flow edges {edges}')"
+
+# Open-loop serving smoke: a CI-sized sweep on the simulator and on
+# real threads, then validate the SLO JSON documents and the Prometheus
+# exposition of the traced knee point.  See docs/serving.md.
+serve:
+	$(PY) -m repro.bench serve --quick \
+		--json /tmp/mpf_serve_sim.json --prom /tmp/mpf_serve.prom
+	$(PY) -m repro.bench serve --quick --runtime threads \
+		--loads 60,200 --duration 1.5 --json /tmp/mpf_serve_threads.json
+	$(PY) -c "\
+	import json; \
+	from repro.obs import parse_exposition; \
+	from repro.serve import validate_slo; \
+	docs = [json.load(open(f'/tmp/mpf_serve_{k}.json')) \
+	        for k in ('sim', 'threads')]; \
+	[validate_slo(d) for d in docs]; \
+	parse_exposition(open('/tmp/mpf_serve.prom').read()); \
+	print('serve smoke ok:', \
+	      [f'{d[\"runtime\"]}: {d[\"total_mpf_messages\"]} msgs' \
+	       for d in docs])"
 
 figures:
 	MPF_FUSION=$(FUSION) $(PY) -m repro.bench all --jobs $(JOBS) \

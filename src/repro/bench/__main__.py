@@ -34,6 +34,13 @@ threads/processes)::
     python -m repro.bench trace fig4 --chrome fig4.trace.json --jsonl fig4.jsonl
     python -m repro.bench trace fig4 --quick --causal --flow fig4.dot
 
+The ``serve`` subcommand runs the open-loop serving sweep
+(:mod:`repro.serve`) — goodput and SLO latency vs offered load for the
+unbatched baseline against send batching and the sharded free list::
+
+    python -m repro.bench serve --quick
+    python -m repro.bench serve --jobs 4 --json slo.json --prom serve.prom
+
 ``--chrome`` writes one ``chrome://tracing`` file per runtime (open via
 the "Load" button there or in https://ui.perfetto.dev), ``--jsonl`` one
 JSON-lines event dump per runtime; both describe the largest swept
@@ -256,6 +263,10 @@ def main(argv: list[str] | None = None) -> int:
         return trace_main(argv[1:])
     if argv and argv[0] == "profile":
         return profile_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from ..serve.cli import serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the MPF paper's figures on the simulated "

@@ -40,6 +40,7 @@ the Prometheus exposition in :mod:`repro.obs.prom`.
 from __future__ import annotations
 
 import time
+from array import array
 from dataclasses import dataclass
 
 from ..core.protocol import NIL
@@ -124,12 +125,27 @@ class CausalTracer:
     Recorder, the event list is bounded: :attr:`total` keeps counting
     past :attr:`limit` and :attr:`dropped` says how many events were not
     stored, so a truncated trace is never silently read as complete.
+
+    **Bounded mode** (``max_events=N``): instead of keeping a prefix and
+    dropping the rest, the tracer keeps a deterministic *stride sample*
+    — events whose ``seqno % stride == 0``, with the stride doubling
+    (and the stored list re-pruned) whenever the store would exceed
+    ``N``.  Sends and receives of the same message share a seqno, so
+    sampled messages keep their complete lifecycle and every derived
+    analysis still works, on a 1-in-``stride`` subset.  End-to-end
+    latency is **not** sampled: an exact sketch pairs every send with
+    its receives as they happen (8 bytes per delivery), so p50/p99/p999
+    e2e quantiles over a million-message run stay exact while memory
+    stays bounded.  :attr:`stride` is surfaced by the summary tables.
     """
 
     __slots__ = ("limit", "clock", "events", "total", "dropped",
-                 "pool_allocs", "pool_failures")
+                 "pool_allocs", "pool_failures",
+                 "max_events", "stride", "e2e", "_pending", "_orphans",
+                 "_grace")
 
-    def __init__(self, limit: int = DEFAULT_LIMIT, clock=None) -> None:
+    def __init__(self, limit: int = DEFAULT_LIMIT, clock=None,
+                 max_events: int | None = None) -> None:
         self.limit = limit
         #: Zero-argument callable returning "now" in the run's timebase.
         self.clock = clock if clock is not None else time.perf_counter
@@ -140,20 +156,54 @@ class CausalTracer:
         self.pool_allocs: dict[int, int] = {}
         #: Pops that found the pool exhausted (returned NIL).
         self.pool_failures: dict[int, int] = {}
+        #: Bounded-mode event cap (``None`` = classic prefix-keep mode).
+        self.max_events = max_events
+        #: Current sampling stride (1 = every message; bounded mode only).
+        self.stride = 1
+        if max_events is not None:
+            if max_events < 1:
+                raise ValueError("max_events must be >= 1")
+            #: Exact e2e latency sketch, one float per delivery.
+            self.e2e = array("d")
+            self._pending: dict = {}   # key -> send t0, popped on free
+            self._orphans: dict = {}   # key -> [recv t2], matched on merge
+            self._grace: dict = {}     # recently freed key -> t0 (see below)
+        else:
+            self.e2e = None
+            self._pending = None
+            self._orphans = None
+            self._grace = None
 
     # -- hooks called inline by repro.core.ops ------------------------------
 
     def _emit(self, ev: MsgEvent) -> None:
         self.total += 1
-        if len(self.events) < self.limit:
-            self.events.append(ev)
-        else:
+        if self.max_events is None:
+            if len(self.events) < self.limit:
+                self.events.append(ev)
+            else:
+                self.dropped += 1
+            return
+        if ev.seqno % self.stride:
             self.dropped += 1
+            return
+        events = self.events
+        if len(events) >= self.max_events:
+            self.stride *= 2
+            kept = [e for e in events if e.seqno % self.stride == 0]
+            self.dropped += len(events) - len(kept)
+            self.events = events = kept
+            if ev.seqno % self.stride:
+                self.dropped += 1
+                return
+        events.append(ev)
 
     def on_send(self, pid: int, slot: int, gen: int, seqno: int,
                 length: int, blocks: int, depth: int,
                 t0: float, t1: float, t2: float) -> None:
         """Message linked at the FIFO tail; ``t3`` is sampled here."""
+        if self._pending is not None:
+            self._pending[(slot, gen, seqno)] = t0
         self._emit(MsgEvent("send", pid, slot, gen, seqno, length,
                             t0, t1, t2, self.clock(),
                             blocks=blocks, depth=depth))
@@ -162,12 +212,34 @@ class CausalTracer:
                 length: int, fcfs: int, t0: float, t1: float,
                 t2: float) -> None:
         """Receive complete (busy pin dropped); ``t3`` is sampled here."""
+        if self._pending is not None:
+            key = (slot, gen, seqno)
+            s0 = self._pending.get(key)
+            if s0 is None:
+                s0 = self._grace.pop(key, None)
+            if s0 is not None:
+                self.e2e.append(t2 - s0 if t2 > s0 else 0.0)
+            elif len(self._orphans) < 65536:
+                # Cross-process delivery (procs runtime): the send lives
+                # in another child's tracer; matched at merge time.
+                self._orphans.setdefault(key, []).append(t2)
         self._emit(MsgEvent("recv", pid, slot, gen, seqno, length,
                             t0, t1, t2, self.clock(), fcfs=1 if fcfs else 0))
 
     def on_free(self, sender: int, slot: int, gen: int, seqno: int,
                 length: int, depth: int, discard: int = 0) -> None:
         """Message header returned to the free list."""
+        if self._pending is not None:
+            # The fused receive path reaps a just-retired message inside
+            # the same section, *before* its own recv hook fires — so a
+            # freed entry lingers briefly in a small grace buffer instead
+            # of vanishing, keeping the e2e sketch complete.
+            t0 = self._pending.pop((slot, gen, seqno), None)
+            if t0 is not None:
+                g = self._grace
+                g[(slot, gen, seqno)] = t0
+                while len(g) > 256:
+                    del g[next(iter(g))]
         self._emit(MsgEvent("free", sender, slot, gen, seqno, length,
                             self.clock(), depth=depth,
                             discard=1 if discard else 0))
@@ -196,26 +268,77 @@ class CausalTracer:
         """Distinct ``(slot, gen)`` pairs seen, sorted."""
         return sorted({e.lnvc for e in self.events})
 
+    def e2e_stats(self) -> "StageStats":
+        """Quantiles over the exact e2e sketch (bounded mode only).
+
+        In classic mode the sketch does not exist; callers should derive
+        e2e from :func:`sojourn_stats` instead.
+        """
+        if self.e2e is None:
+            raise ValueError(
+                "e2e sketch requires bounded mode (max_events=N)")
+        return StageStats(list(self.e2e))
+
     # -- merge across workers / processes ------------------------------------
 
     def snapshot(self) -> dict:
         """Picklable plain-data form (crosses the fork boundary)."""
-        return {
+        snap = {
             "limit": self.limit,
             "total": self.total,
             "events": [e.as_dict() for e in self.events],
             "pool_allocs": dict(self.pool_allocs),
             "pool_failures": dict(self.pool_failures),
         }
+        if self.max_events is not None:
+            snap["max_events"] = self.max_events
+            snap["stride"] = self.stride
+            snap["e2e"] = list(self.e2e)
+            snap["pending"] = [list(k) + [t0]
+                               for k, t0 in self._pending.items()]
+            snap["pending"] += [list(k) + [t0]
+                                for k, t0 in self._grace.items()]
+            snap["orphans"] = [list(k) + [t2]
+                               for k, ts in self._orphans.items()
+                               for t2 in ts]
+        return snap
 
     def merge(self, snap: dict) -> None:
         """Fold a :meth:`snapshot` into this tracer."""
         self.total += snap["total"]
         events = snap["events"]
-        room = self.limit - len(self.events)
-        fitted = min(len(events), room) if room > 0 else 0
-        self.events.extend(MsgEvent(**d) for d in events[:fitted])
-        self.dropped += (snap["total"] - len(events)) + (len(events) - fitted)
+        if self.max_events is not None:
+            self.stride = max(self.stride, snap.get("stride", 1))
+            incoming = [MsgEvent(**d) for d in events]
+            merged = [e for e in self.events + incoming
+                      if e.seqno % self.stride == 0]
+            while len(merged) > self.max_events:
+                self.stride *= 2
+                merged = [e for e in merged if e.seqno % self.stride == 0]
+            self.dropped += (snap["total"] - len(events)) + (
+                len(self.events) + len(incoming) - len(merged))
+            self.events = merged
+            self.e2e.extend(snap.get("e2e", ()))
+            # Match cross-process deliveries: a child's unmatched sends
+            # against our orphan receives and vice versa.  BROADCAST
+            # sends stay pending (later merges may hold more receives).
+            for s, g, q, t0 in snap.get("pending", ()):
+                key = (s, g, q)
+                for t2 in self._orphans.pop(key, ()):
+                    self.e2e.append(t2 - t0 if t2 > t0 else 0.0)
+                self._pending[key] = t0
+            for s, g, q, t2 in snap.get("orphans", ()):
+                key = (s, g, q)
+                t0 = self._pending.get(key)
+                if t0 is not None:
+                    self.e2e.append(t2 - t0 if t2 > t0 else 0.0)
+                elif len(self._orphans) < 65536:
+                    self._orphans.setdefault(key, []).append(t2)
+        else:
+            room = self.limit - len(self.events)
+            fitted = min(len(events), room) if room > 0 else 0
+            self.events.extend(MsgEvent(**d) for d in events[:fitted])
+            self.dropped += (snap["total"] - len(events)) + (len(events) - fitted)
         for off, n in snap["pool_allocs"].items():
             off = int(off)
             self.pool_allocs[off] = self.pool_allocs.get(off, 0) + n
@@ -252,6 +375,19 @@ class StageStats:
         rank = max(1, -(-int(q * 100) * len(self.samples) // 100))
         return self.samples[min(rank, len(self.samples)) - 1]
 
+    def quantile_fine(self, q: float) -> float:
+        """Nearest-rank quantile at per-mille resolution.
+
+        :meth:`quantile` truncates ``q`` to centiles (0.999 would
+        silently degrade to p99); this variant resolves thousandths.
+        Kept separate so the centile quantiles in archived expositions
+        stay byte-identical.
+        """
+        if not self.samples:
+            return 0.0
+        rank = max(1, -(-round(q * 1000) * len(self.samples) // 1000))
+        return self.samples[min(rank, len(self.samples)) - 1]
+
     @property
     def p50(self) -> float:
         return self.quantile(0.50)
@@ -263,6 +399,10 @@ class StageStats:
     @property
     def p99(self) -> float:
         return self.quantile(0.99)
+
+    @property
+    def p999(self) -> float:
+        return self.quantile_fine(0.999)
 
 
 def pair_deliveries(tracer: CausalTracer) -> list[tuple[MsgEvent, MsgEvent]]:
@@ -441,7 +581,15 @@ def format_sojourn(tracer: CausalTracer) -> str:
             _us(per["e2e"].p95), _us(per["e2e"].p99),
         ])
     lines = [_table(rows), "(latencies in µs)"]
-    if tracer.dropped:
+    if tracer.max_events is not None:
+        if tracer.stride > 1:
+            lines.append(
+                f"(~) bounded tracing: 1/{tracer.stride} stride sample "
+                f"({len(tracer.events)} of {tracer.total} events stored); "
+                f"per-stage quantiles cover the sample, e2e sketch stays "
+                f"exact ({len(tracer.e2e)} deliveries)"
+            )
+    elif tracer.dropped:
         lines.append(
             f"(!) {tracer.dropped} of {tracer.total} causal events dropped "
             f"(limit {tracer.limit}); quantiles cover the recorded prefix"

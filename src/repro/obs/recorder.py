@@ -185,9 +185,14 @@ class Recorder:
     :class:`~repro.obs.causal.CausalTracer` (or pass a pre-built tracer
     instance): the runtimes hand it to the ops layer, which records one
     lifecycle event per message send/receive/free.
+    ``causal_max_events=N`` puts that tracer in bounded mode: stride
+    sampling caps the stored events at ``N`` while an exact sketch keeps
+    e2e latency quantiles precise — how million-message serve runs trace
+    without unbounded memory (see docs/serving.md).
     """
 
-    def __init__(self, limit: int = 100_000, causal=False) -> None:
+    def __init__(self, limit: int = 100_000, causal=False,
+                 causal_max_events: int | None = None) -> None:
         self.limit = limit
         self.clock = "wall"
         self.spans: list[Span] = []
@@ -206,7 +211,7 @@ class Recorder:
             from .causal import CausalTracer
 
             self.causal = causal if isinstance(causal, CausalTracer) \
-                else CausalTracer()
+                else CausalTracer(max_events=causal_max_events)
         else:
             #: Optional :class:`~repro.obs.causal.CausalTracer`.
             self.causal = None
@@ -348,7 +353,8 @@ class Recorder:
         if self.causal is not None:
             from .causal import CausalTracer
 
-            rec.causal = CausalTracer(limit=self.causal.limit)
+            rec.causal = CausalTracer(limit=self.causal.limit,
+                                      max_events=self.causal.max_events)
         return rec
 
     def snapshot(self) -> dict:
@@ -401,7 +407,8 @@ class Recorder:
                     from .causal import CausalTracer
 
                     self.causal = CausalTracer(
-                        limit=causal_snap.get("limit", 200_000))
+                        limit=causal_snap.get("limit", 200_000),
+                        max_events=causal_snap.get("max_events"))
                 self.causal.merge(causal_snap)
 
     # -- exporters (implemented in repro.obs.export) -----------------------------

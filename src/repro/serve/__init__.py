@@ -1,0 +1,62 @@
+"""Open-loop production-serving experiments on top of MPF.
+
+The paper evaluates MPF with *closed-loop* benchmarks: every process
+alternates between issuing work and waiting for its own completions, so
+offered load adapts itself to whatever the facility can absorb.  A 1987
+service built on MPF — or any modern message-passing server — faces the
+opposite regime: requests arrive on their own schedule, indifferent to
+how far behind the service has fallen.  This package is that missing
+regime, built entirely out of the reproduction's public pieces:
+
+* :mod:`repro.serve.topology` — a declarative service-tier builder
+  (clients → frontends → fan-out workers → fan-in aggregator) compiled
+  to ordinary MPF worker generators, runnable on any runtime;
+* :mod:`repro.serve.arrivals` — seeded Poisson and trace-driven
+  arrival schedules, generated independently of any runtime so the same
+  schedule replays bit-identically on the simulator and real threads;
+* :mod:`repro.serve.batching` — client-side send batching: K logical
+  requests per MPF message, amortising the fixed per-primitive costs;
+* :mod:`repro.serve.overload` — bounded admission queues and the
+  shed-vs-stall backpressure policies driven by
+  :class:`~repro.core.errors.OutOfMessageMemoryError`;
+* :mod:`repro.serve.sweep` — offered-load sweeps producing goodput
+  curves, knee detection, and SLO latency quantiles (p50/p99/p999);
+* :mod:`repro.serve.slo` — the SLO report: JSON schema, validation,
+  and text formatting.
+
+Run it with ``python -m repro.bench serve``; see docs/serving.md.
+"""
+
+from .arrivals import (
+    PoissonArrivals,
+    TraceArrivals,
+    schedule_digest,
+)
+from .batching import (
+    REQUEST_RECORD,
+    decode_batch,
+    encode_batch,
+)
+from .overload import OverloadStats, POLICIES
+from .slo import SLOReport, detect_knee, validate_slo
+from .sweep import run_point, run_sweep
+from .topology import ServeShape, build_workers, serve_config
+
+__all__ = [
+    "PoissonArrivals",
+    "TraceArrivals",
+    "schedule_digest",
+    "REQUEST_RECORD",
+    "encode_batch",
+    "decode_batch",
+    "OverloadStats",
+    "POLICIES",
+    "SLOReport",
+    "detect_knee",
+    "validate_slo",
+    "run_point",
+    "run_sweep",
+    "ServeShape",
+    "build_workers",
+    "serve_config",
+]

@@ -1,0 +1,111 @@
+"""Open-loop arrival schedules.
+
+A schedule is a plain tuple of absolute arrival times (seconds from the
+start of the measured window), generated *before* any runtime is
+involved.  That split is what makes the serving experiments
+reproducible: the same seed yields the same schedule whether the
+topology then runs on the simulated Balance 21000 or on real threads,
+and a trace-driven schedule replays an external trace exactly.
+
+The closed-loop harness (:mod:`repro.bench.workloads`) needs nothing of
+the sort — its processes issue the next request only when the previous
+one finished.  Open-loop clients instead *pace* themselves against the
+schedule (see :mod:`repro.serve.topology`) and keep admitting work even
+when the service has fallen behind, which is what exposes saturation
+knees and overload behaviour.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["PoissonArrivals", "TraceArrivals", "schedule_digest"]
+
+
+def schedule_digest(times: Sequence[float]) -> str:
+    """Stable hex digest of a schedule (microsecond resolution).
+
+    Tests use this to assert that two runtimes replayed the *same*
+    arrival process: the digest depends only on the schedule, never on
+    what the service did with it.
+    """
+    h = hashlib.sha256()
+    h.update(len(times).to_bytes(8, "little"))
+    for t in times:
+        h.update(round(t * 1e6).to_bytes(8, "little", signed=True))
+    return h.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Seeded Poisson process: exponential gaps at ``rate`` arrivals/s."""
+
+    rate: float
+    n: int
+    seed: int = 1987
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        if self.n < 1:
+            raise ValueError("schedule needs at least one arrival")
+
+    def times(self) -> tuple[float, ...]:
+        rng = random.Random(self.seed)
+        t = 0.0
+        out = []
+        for _ in range(self.n):
+            t += rng.expovariate(self.rate)
+            out.append(t)
+        return tuple(out)
+
+    @property
+    def duration(self) -> float:
+        """Nominal schedule length in seconds (``n / rate``)."""
+        return self.n / self.rate
+
+
+@dataclass(frozen=True)
+class TraceArrivals:
+    """Trace-driven schedule: replay explicit arrival times.
+
+    ``times_in`` may be absolute times or inter-arrival gaps
+    (``gaps=True``); either way :meth:`times` returns monotonically
+    non-decreasing absolute times, so a recorded production trace can be
+    replayed against any topology and runtime.
+    """
+
+    times_in: tuple[float, ...]
+    gaps: bool = False
+
+    def __init__(self, times_in: Iterable[float], gaps: bool = False) -> None:
+        object.__setattr__(self, "times_in", tuple(float(t) for t in times_in))
+        object.__setattr__(self, "gaps", gaps)
+        if not self.times_in:
+            raise ValueError("trace schedule is empty")
+        if any(t < 0 for t in self.times_in):
+            raise ValueError("trace times must be non-negative")
+        if not gaps and any(
+                b < a for a, b in zip(self.times_in, self.times_in[1:])):
+            raise ValueError("absolute trace times must be sorted")
+
+    def times(self) -> tuple[float, ...]:
+        if not self.gaps:
+            return self.times_in
+        t = 0.0
+        out = []
+        for gap in self.times_in:
+            t += gap
+            out.append(t)
+        return tuple(out)
+
+    @property
+    def n(self) -> int:
+        return len(self.times_in)
+
+    @property
+    def duration(self) -> float:
+        return self.times()[-1]

@@ -1,0 +1,91 @@
+"""Client-side send batching: K logical requests per MPF message.
+
+The cost model (:mod:`repro.core.costmodel`) charges several thousand
+instructions of fixed overhead per ``message_send``/``message_receive``
+— the 1987 library call, descriptor search and queue bookkeeping.  A
+serving client that packs K requests into one MPF message pays that
+overhead once per batch instead of once per request, and makes K times
+fewer trips through the shared block allocator.  Goodput and latency
+are always accounted in *logical requests*, never MPF messages, so
+batched and unbatched runs are directly comparable.
+
+Wire format (little-endian)::
+
+    header:  kind:u8  count:u16          (3 bytes)
+    slot:    client:u16  seq:u32  t_admit:f64  [padding to slot_bytes]
+
+``t_admit`` is the client clock at admission, carried end to end so the
+aggregator can compute exact per-request latency without any shared
+state; padding models the real request/response payload.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = [
+    "KIND_DATA",
+    "KIND_DONE",
+    "REQUEST_RECORD",
+    "BATCH_HEADER",
+    "encode_batch",
+    "decode_batch",
+    "encode_done",
+    "batch_bytes",
+]
+
+#: First payload byte: a batch of request records.
+KIND_DATA = 0x01
+#: First payload byte: end-of-stream marker (no records).
+KIND_DONE = 0x02
+
+#: One logical request: ``(client, seq, t_admit)``.
+REQUEST_RECORD = struct.Struct("<HId")
+BATCH_HEADER = struct.Struct("<BH")
+
+
+def batch_bytes(count: int, slot_bytes: int) -> int:
+    """Payload length of a ``count``-record batch with ``slot_bytes`` slots."""
+    return BATCH_HEADER.size + count * slot_bytes
+
+
+def encode_batch(records: list[tuple[int, int, float]],
+                 slot_bytes: int) -> bytes:
+    """Pack ``(client, seq, t_admit)`` records into one message payload."""
+    if slot_bytes < REQUEST_RECORD.size:
+        raise ValueError(
+            f"slot_bytes must be >= {REQUEST_RECORD.size} "
+            f"(the request record), got {slot_bytes}")
+    out = bytearray(batch_bytes(len(records), slot_bytes))
+    BATCH_HEADER.pack_into(out, 0, KIND_DATA, len(records))
+    off = BATCH_HEADER.size
+    for rec in records:
+        REQUEST_RECORD.pack_into(out, off, *rec)
+        off += slot_bytes
+    return bytes(out)
+
+
+def decode_batch(payload: bytes,
+                 slot_bytes: int) -> list[tuple[int, int, float]] | None:
+    """Unpack a payload; ``None`` for a DONE marker."""
+    kind, count = BATCH_HEADER.unpack_from(payload, 0)
+    if kind == KIND_DONE:
+        return None
+    if kind != KIND_DATA:
+        raise ValueError(f"unknown serve message kind {kind:#x}")
+    expect = batch_bytes(count, slot_bytes)
+    if len(payload) != expect:
+        raise ValueError(
+            f"batch length mismatch: {len(payload)} bytes for "
+            f"{count} records of {slot_bytes} (expected {expect})")
+    out = []
+    off = BATCH_HEADER.size
+    for _ in range(count):
+        out.append(REQUEST_RECORD.unpack_from(payload, off))
+        off += slot_bytes
+    return out
+
+
+def encode_done() -> bytes:
+    """The end-of-stream marker payload."""
+    return BATCH_HEADER.pack(KIND_DONE, 0)

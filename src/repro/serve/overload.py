@@ -1,0 +1,109 @@
+"""Overload handling: bounded admission, backpressure, shed vs stall.
+
+An open-loop client cannot slow its arrival process down, so overload
+must go *somewhere*.  This module gives it exactly two places to go,
+both bounded and both reported:
+
+* a **bounded admission queue** in front of the send path — arrivals
+  that find it full are shed immediately (``shed_overflow``);
+* a **backpressure policy** for sends the facility refuses
+  (:class:`~repro.core.errors.OutOfMessageMemoryError` — the block pool
+  is the service's shared buffer, and exhausting it is MPF's native
+  backpressure signal):
+
+  - ``"shed"`` drops the batch and keeps pace with the schedule
+    (graceful degradation: goodput flattens, latency stays bounded);
+  - ``"stall"`` retries after a backoff, preserving every request at
+    the price of falling behind the schedule (latency grows without
+    bound past saturation — the classic bufferbloat trade).
+
+:class:`OverloadStats` is one client's account of all of it; the sweep
+aggregates them into the SLO report's degradation columns.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["POLICIES", "OverloadStats", "AdmissionQueue"]
+
+#: Recognised backpressure policies.
+POLICIES = ("shed", "stall")
+
+
+@dataclass
+class OverloadStats:
+    """One client's overload ledger for a run."""
+
+    #: Logical requests admitted to the queue.
+    admitted: int = 0
+    #: Requests dropped because the admission queue was full.
+    shed_overflow: int = 0
+    #: Requests dropped by the ``shed`` policy on pool exhaustion.
+    shed_backpressure: int = 0
+    #: Individual send attempts refused by the facility.
+    backpressure_events: int = 0
+    #: Backoff sleeps taken by the ``stall`` policy.
+    stalls: int = 0
+    #: Total seconds spent in ``stall`` backoff.
+    stall_seconds: float = 0.0
+
+    @property
+    def shed(self) -> int:
+        """All requests dropped, for any reason."""
+        return self.shed_overflow + self.shed_backpressure
+
+    def merge(self, other: "OverloadStats") -> None:
+        self.admitted += other.admitted
+        self.shed_overflow += other.shed_overflow
+        self.shed_backpressure += other.shed_backpressure
+        self.backpressure_events += other.backpressure_events
+        self.stalls += other.stalls
+        self.stall_seconds += other.stall_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "admitted": self.admitted,
+            "shed_overflow": self.shed_overflow,
+            "shed_backpressure": self.shed_backpressure,
+            "backpressure_events": self.backpressure_events,
+            "stalls": self.stalls,
+            "stall_seconds": self.stall_seconds,
+        }
+
+
+@dataclass
+class AdmissionQueue:
+    """Bounded FIFO of encoded batches awaiting a successful send.
+
+    ``push`` returns ``False`` (and counts the whole batch as shed) when
+    the queue is full — admission control happens *before* the facility
+    is touched, so a melting-down pool never grows unbounded client
+    state behind it.
+    """
+
+    cap: int
+    stats: OverloadStats
+    _q: deque = field(default_factory=deque)
+
+    def __post_init__(self) -> None:
+        if self.cap < 1:
+            raise ValueError("admission queue cap must be >= 1")
+
+    def push(self, payload: bytes, requests: int) -> bool:
+        if len(self._q) >= self.cap:
+            self.stats.shed_overflow += requests
+            return False
+        self._q.append((payload, requests))
+        self.stats.admitted += requests
+        return True
+
+    def head(self) -> tuple[bytes, int] | None:
+        return self._q[0] if self._q else None
+
+    def pop(self) -> None:
+        self._q.popleft()
+
+    def __len__(self) -> int:
+        return len(self._q)

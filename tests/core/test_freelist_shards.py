@@ -1,0 +1,127 @@
+"""Sharded block pool: home-shard preference, steal-on-empty, rollback,
+and cross-shard conservation (``freelist_shards > 1``)."""
+
+import pytest
+
+from repro.core import ops
+from repro.core.errors import MPFConfigError, OutOfMessageMemoryError
+from repro.core.freelist import fl_count
+from repro.core.inspect import check_invariants, inspect_segment
+from repro.core.layout import MPFConfig
+from repro.core.protocol import FCFS
+from repro.testing import DirectRunner, make_view
+
+# 28 blocks (14-byte stride) over 4 shards of 7.
+POOL = 28 * 14
+
+
+@pytest.fixture
+def v():
+    return make_view(freelist_shards=4, message_pool_bytes=POOL,
+                     max_messages=32)
+
+
+@pytest.fixture
+def r(v):
+    return DirectRunner(v)
+
+
+def _shard_counts(v):
+    return [fl_count(v.region, h) for h in v.layout.shard_heads]
+
+
+def _open_pair(r, v, sender=0, receiver=1, name="c"):
+    cid = r.run(ops.open_send(v, sender, name))
+    r.run(ops.open_receive(v, receiver, name, FCFS))
+    return cid
+
+
+def test_format_splits_pool_across_shards(v):
+    counts = _shard_counts(v)
+    assert sum(counts) == v.layout.cfg.n_blocks == 28
+    assert max(counts) - min(counts) <= 1
+
+
+def test_alloc_prefers_home_shard(r, v):
+    cid = _open_pair(r, v, sender=2)  # home shard = 2 % 4
+    before = _shard_counts(v)
+    r.run(ops.message_send(v, 2, cid, b"x" * 10))  # 1 block
+    after = _shard_counts(v)
+    assert before[2] - after[2] == 1
+    assert all(before[s] == after[s] for s in range(4) if s != 2)
+
+
+def test_steal_on_empty_crosses_shards(r, v):
+    cid = _open_pair(r, v, sender=0)
+    # 7 blocks per shard: a 100-byte (10-block) send must empty shard 0
+    # and steal the remaining 3 from the next shard up.
+    r.run(ops.message_send(v, 0, cid, b"x" * 100))
+    counts = _shard_counts(v)
+    assert counts[0] == 0
+    assert sum(counts) == 28 - 10
+    check_invariants(v, level="steady")
+
+
+def test_free_returns_blocks_to_home_shards(r, v):
+    cid = _open_pair(r, v, sender=0, receiver=1)
+    r.run(ops.message_send(v, 0, cid, b"x" * 100))
+    assert r.run(ops.message_receive(v, 1, cid)) == b"x" * 100
+    assert _shard_counts(v) == [7, 7, 7, 7]
+    check_invariants(v, level="steady")
+
+
+def test_shortfall_rolls_back_committed_pops(r, v):
+    cid = _open_pair(r, v, sender=0)
+    r.run(ops.message_send(v, 0, cid, b"x" * 200))  # 20 of 28 blocks
+    before = _shard_counts(v)
+    with pytest.raises(OutOfMessageMemoryError):
+        r.run(ops.message_send(v, 0, cid, b"y" * 90))  # 9 > 8 free
+    assert _shard_counts(v) == before  # partial pops rolled back
+    check_invariants(v, level="steady")
+
+
+def test_conservation_across_shards_under_churn(r, v):
+    cid = _open_pair(r, v, sender=3, receiver=1)
+    for i in range(12):
+        r.run(ops.message_send(v, 3, cid, bytes([i]) * (10 + 7 * i % 40)))
+        r.run(ops.message_receive(v, 1, cid))
+        check_invariants(v, level="steady")
+    assert sum(_shard_counts(v)) == 28
+
+
+def test_inspect_sums_free_blocks_across_shards(r, v):
+    cid = _open_pair(r, v, sender=0)
+    r.run(ops.message_send(v, 0, cid, b"x" * 100))
+    seg = inspect_segment(v)
+    assert seg.free_blk == 28 - 10
+
+
+def test_sharded_delivery_matches_unsharded():
+    got = {}
+    for shards in (1, 4):
+        v = make_view(freelist_shards=shards, message_pool_bytes=POOL,
+                      max_messages=32)
+        r = DirectRunner(v)
+        cid = _open_pair(r, v)
+        out = []
+        for i in range(6):
+            r.run(ops.message_send(v, 0, cid, f"m{i}".encode() * 4))
+            out.append(r.run(ops.message_receive(v, 1, cid)))
+        got[shards] = out
+    assert got[1] == got[4]
+
+
+def test_config_rejects_bad_shard_counts():
+    with pytest.raises(MPFConfigError):
+        MPFConfig(freelist_shards=0)
+    with pytest.raises(MPFConfigError):
+        # More shards than blocks in the pool.
+        MPFConfig(message_pool_bytes=4 * 14, freelist_shards=5)
+
+
+def test_unsharded_layout_has_no_shard_head_pool():
+    v1 = make_view()  # default freelist_shards=1
+    assert len(v1.layout.shard_heads) == 1
+    cfg = MPFConfig(max_lnvcs=8, max_processes=8, max_messages=64,
+                    message_pool_bytes=1 << 16)
+    assert cfg.freelist_shards == 1

@@ -1,0 +1,75 @@
+"""Open-loop arrival generators: determinism, digests, trace replay."""
+
+import pytest
+
+from repro.serve import PoissonArrivals, TraceArrivals, schedule_digest
+
+
+def test_poisson_is_deterministic_per_seed():
+    a = PoissonArrivals(100.0, 500, seed=7).times()
+    b = PoissonArrivals(100.0, 500, seed=7).times()
+    assert a == b
+    assert PoissonArrivals(100.0, 500, seed=8).times() != a
+
+
+def test_poisson_times_are_sorted_and_positive():
+    times = PoissonArrivals(50.0, 200, seed=1).times()
+    assert len(times) == 200
+    assert all(t > 0 for t in times)
+    assert list(times) == sorted(times)
+
+
+def test_poisson_mean_rate_is_close():
+    times = PoissonArrivals(100.0, 5000, seed=3).times()
+    realized = len(times) / times[-1]
+    assert abs(realized - 100.0) / 100.0 < 0.05
+
+
+def test_poisson_validates_inputs():
+    with pytest.raises(ValueError):
+        PoissonArrivals(0.0, 10)
+    with pytest.raises(ValueError):
+        PoissonArrivals(10.0, 0)
+
+
+def test_schedule_digest_is_stable_and_order_sensitive():
+    times = (0.001, 0.5, 1.25)
+    assert schedule_digest(times) == schedule_digest(list(times))
+    assert schedule_digest(times) != schedule_digest(times[::-1])
+    assert len(schedule_digest(times)) == 16
+
+
+def test_trace_arrivals_absolute_times():
+    t = TraceArrivals([0.1, 0.4, 0.9])
+    assert t.times() == (0.1, 0.4, 0.9)
+
+
+def test_trace_arrivals_gap_form():
+    t = TraceArrivals([0.1, 0.3, 0.5], gaps=True)
+    assert t.times() == pytest.approx((0.1, 0.4, 0.9))
+
+
+def test_trace_arrivals_rejects_unsorted_or_negative():
+    with pytest.raises(ValueError):
+        TraceArrivals([0.5, 0.1])
+    with pytest.raises(ValueError):
+        TraceArrivals([-0.1, 0.2])
+    with pytest.raises(ValueError):
+        TraceArrivals([])
+
+
+def test_trace_replay_matches_input_schedule():
+    # A trace-driven serve run must process exactly the input schedule:
+    # same digest, every request admitted and completed.
+    from repro.serve import ServeShape
+    from repro.serve.sweep import run_point
+
+    shape = ServeShape(clients=2, frontends=2, workers=2)
+    traces = [TraceArrivals([0.01 * i for i in range(1, 21)]).times(),
+              TraceArrivals([0.015 * i for i in range(1, 16)]).times()]
+    point, _ = run_point(shape, rate=0.0, n_requests=0, schedules=traces)
+    assert point["schedule_digest"] == schedule_digest(
+        [t for s in traces for t in s])
+    assert point["offered"] == 35
+    assert point["completed"] == 35
+    assert point["shed"] == 0

@@ -1,0 +1,56 @@
+"""Batch wire format: roundtrips, DONE markers, size validation."""
+
+import pytest
+
+from repro.serve import REQUEST_RECORD, decode_batch, encode_batch
+from repro.serve.batching import (
+    BATCH_HEADER,
+    KIND_DATA,
+    batch_bytes,
+    encode_done,
+)
+
+RECORDS = [(0, 1, 0.125), (3, 2, 0.25), (65535, 4_000_000_000, 1.5)]
+
+
+def test_roundtrip_preserves_records():
+    payload = encode_batch(RECORDS, slot_bytes=32)
+    assert decode_batch(payload, slot_bytes=32) == RECORDS
+
+
+def test_minimum_slot_is_the_record_size():
+    payload = encode_batch(RECORDS, slot_bytes=REQUEST_RECORD.size)
+    assert decode_batch(payload, REQUEST_RECORD.size) == RECORDS
+    with pytest.raises(ValueError):
+        encode_batch(RECORDS, slot_bytes=REQUEST_RECORD.size - 1)
+
+
+def test_batch_bytes_accounts_header_and_slots():
+    assert batch_bytes(0, 64) == BATCH_HEADER.size
+    assert batch_bytes(3, 64) == BATCH_HEADER.size + 3 * 64
+    assert len(encode_batch(RECORDS, 64)) == batch_bytes(len(RECORDS), 64)
+
+
+def test_done_marker_decodes_to_none():
+    done = encode_done()
+    assert decode_batch(done, slot_bytes=64) is None
+    assert done[0] != KIND_DATA
+
+
+def test_decode_rejects_length_mismatch():
+    payload = encode_batch(RECORDS, slot_bytes=32)
+    with pytest.raises(ValueError):
+        decode_batch(payload, slot_bytes=16)
+    with pytest.raises(ValueError):
+        decode_batch(payload + b"\0", slot_bytes=32)
+
+
+def test_decode_rejects_unknown_kind():
+    bogus = bytes([0x7F]) + encode_batch(RECORDS, 32)[1:]
+    with pytest.raises(ValueError):
+        decode_batch(bogus, slot_bytes=32)
+
+
+def test_empty_batch_roundtrips():
+    payload = encode_batch([], slot_bytes=32)
+    assert decode_batch(payload, slot_bytes=32) == []

@@ -1,0 +1,67 @@
+"""Overload behavior: bounded admission, shed vs stall, degradation."""
+
+import pytest
+
+from repro.serve import OverloadStats, ServeShape
+from repro.serve.overload import AdmissionQueue
+from repro.serve.sweep import run_point
+
+#: A deliberately small service that saturates at a few hundred rps.
+TIGHT = ServeShape(clients=2, frontends=2, workers=2, pool_batches=8,
+                   queue_cap=4)
+
+
+def test_admission_queue_bounds_and_counts():
+    stats = OverloadStats()
+    q = AdmissionQueue(cap=2, stats=stats)
+    assert q.push(b"a", 3) and q.push(b"b", 3)
+    assert not q.push(b"c", 3)  # full: shed at admission
+    assert stats.admitted == 6
+    assert stats.shed_overflow == 3
+    assert len(q) == 2
+    assert q.head() == (b"a", 3)
+    q.pop()
+    assert q.head() == (b"b", 3)
+
+
+def test_admission_queue_rejects_zero_cap():
+    with pytest.raises(ValueError):
+        AdmissionQueue(cap=0, stats=OverloadStats())
+
+
+def test_overload_stats_merge_and_shed_property():
+    a = OverloadStats(admitted=5, shed_overflow=2, shed_backpressure=1,
+                      backpressure_events=4, stalls=3, stall_seconds=0.5)
+    b = OverloadStats(admitted=1, shed_overflow=1)
+    a.merge(b)
+    assert a.admitted == 6 and a.shed_overflow == 3
+    assert a.shed == 4  # overflow + backpressure
+    assert a.to_dict()["stall_seconds"] == 0.5
+
+
+def test_shed_policy_degrades_gracefully():
+    point, _ = run_point(TIGHT, rate=800.0, n_requests=800)
+    assert point["shed"] > 0  # overload surfaced as drops...
+    assert point["completed"] + point["shed"] == point["offered"]
+    assert point["goodput_rps"] < 800.0  # ...and goodput saturated
+
+
+def test_stall_policy_preserves_requests_at_latency_cost():
+    import dataclasses
+
+    shape = dataclasses.replace(TIGHT, policy="stall")
+    point, _ = run_point(shape, rate=800.0, n_requests=800)
+    assert point["shed"] == 0  # nothing dropped
+    assert point["completed"] == point["offered"]
+    assert point["stalls"] > 0  # but the client fell behind
+
+
+def test_underload_is_clean_under_both_policies():
+    import dataclasses
+
+    for policy in ("shed", "stall"):
+        shape = dataclasses.replace(TIGHT, policy=policy)
+        point, _ = run_point(shape, rate=50.0, n_requests=100)
+        assert point["completed"] == point["offered"]
+        assert point["shed"] == 0
+        assert point["p99_ms"] > 0.0

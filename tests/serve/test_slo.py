@@ -1,0 +1,87 @@
+"""SLO report: knee detection, document schema, presentation."""
+
+import json
+
+import pytest
+
+from repro.serve import SLOReport, detect_knee, validate_slo
+from repro.serve.slo import POINT_FIELDS
+
+
+def _point(offered, goodput, **extra):
+    p = {k: 0 for k in POINT_FIELDS}
+    p.update(offered_rps=offered, goodput_rps=goodput,
+             p50_ms=1.0, p99_ms=2.0, p999_ms=3.0, window_s=1.0)
+    p.update(extra)
+    return p
+
+
+def test_knee_at_first_load_past_capacity():
+    points = [_point(100, 96), _point(200, 190), _point(400, 260),
+              _point(800, 265)]
+    assert detect_knee(points) == 400  # capacity 265; 400 > 265/0.9
+
+
+def test_no_knee_when_unsaturated():
+    points = [_point(100, 93), _point(200, 188), _point(400, 381)]
+    assert detect_knee(points) is None
+
+
+def test_knee_tolerates_short_window_edge_effects():
+    # A 27% shortfall at the lowest load (batch-fill + drain edges on a
+    # tiny schedule) must not place the knee there while the curve still
+    # scales; capacity-relative detection puts it where growth stops.
+    points = [_point(60, 44), _point(200, 169), _point(400, 340)]
+    assert detect_knee(points) == 400
+    # And with the top point still scaling, there is no knee at all.
+    scaling = [_point(60, 44), _point(200, 169), _point(400, 372)]
+    assert detect_knee(scaling) is None
+
+
+def _report():
+    report = SLOReport(runtime="sim", seed=1987)
+    report.add_config("baseline", {"batch": 1}, [
+        _point(100, 96, mpf_messages=300),
+        _point(400, 260, mpf_messages=900),
+        _point(800, 262, mpf_messages=1100),
+    ])
+    report.findings.append("traced probe at 800 rps")
+    return report
+
+
+def test_report_document_validates_and_counts_messages():
+    doc = _report().to_dict()
+    validate_slo(doc)  # must not raise
+    assert doc["total_mpf_messages"] == 2300
+    json.loads(json.dumps(doc))  # JSON-serializable
+
+
+def test_knee_goodput_is_the_saturated_plateau():
+    report = _report()
+    # Capacity 262; the first load past 262/0.9 is 400.
+    assert report.configs["baseline"]["knee_rps"] == 400
+    assert report.knee_goodput("baseline") == 262
+
+
+def test_format_table_shows_knee_and_findings():
+    text = _report().format_table()
+    assert "knee @ 400" in text
+    assert "traced probe" in text
+    assert "p999" in text
+
+
+@pytest.mark.parametrize("mutate,path_bit", [
+    (lambda d: d.pop("schema"), "schema"),
+    (lambda d: d.update(seed="x"), "seed"),
+    (lambda d: d.update(configs={}), "configs"),
+    (lambda d: d["configs"]["baseline"]["points"][0].pop("p999_ms"),
+     "p999_ms"),
+    (lambda d: d["configs"]["baseline"]["points"].reverse(), "sorted"),
+    (lambda d: d.pop("total_mpf_messages"), "total_mpf_messages"),
+])
+def test_validate_slo_rejects_malformed_documents(mutate, path_bit):
+    doc = _report().to_dict()
+    mutate(doc)
+    with pytest.raises(ValueError) as err:
+        validate_slo(doc)
+    assert path_bit in str(err.value)
