@@ -9,6 +9,11 @@ JOBS ?= 4
 # either way (the fused engine's acceptance gate); the knob exists for
 # debugging and A/B timing.
 FUSION ?= on
+# Epoch-batching escape hatch: `make figures EPOCH=off` forces the
+# classic one-heap-pop-per-event loop.  Output is byte-identical either
+# way (the batcher's acceptance gate); the knob exists for debugging
+# and A/B timing of the quiescent-stretch retirer.
+EPOCH ?= on
 
 .PHONY: install test bench shapes figures figures-quick check trace-smoke \
 	serve profile clean
@@ -77,16 +82,16 @@ serve:
 	       for d in docs])"
 
 figures:
-	MPF_FUSION=$(FUSION) $(PY) -m repro.bench all --jobs $(JOBS) \
+	MPF_FUSION=$(FUSION) MPF_EPOCH=$(EPOCH) $(PY) -m repro.bench all --jobs $(JOBS) \
 		--json figures_full.json | tee figures_full.txt
 
 figures-quick:
-	MPF_FUSION=$(FUSION) $(PY) -m repro.bench all --quick --plot
+	MPF_FUSION=$(FUSION) MPF_EPOCH=$(EPOCH) $(PY) -m repro.bench all --quick --plot
 
 # Re-measure against the committed archive (figures_full.json is reused
 # as the reference, not regenerated).
 compare:
-	MPF_FUSION=$(FUSION) $(PY) -m repro.bench all --jobs $(JOBS) \
+	MPF_FUSION=$(FUSION) MPF_EPOCH=$(EPOCH) $(PY) -m repro.bench all --jobs $(JOBS) \
 		--json /tmp/mpf_after.json >/dev/null && \
 	$(PY) -m repro.bench.compare figures_full.json /tmp/mpf_after.json
 
@@ -94,7 +99,7 @@ compare:
 # `make profile FIG=fig6 FUSION=off` profiles the unfused paths.
 FIG ?= fig7
 profile:
-	MPF_FUSION=$(FUSION) $(PY) -m repro.bench profile $(FIG) --quick --top 10
+	MPF_FUSION=$(FUSION) MPF_EPOCH=$(EPOCH) $(PY) -m repro.bench profile $(FIG) --quick --top 10
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache \

@@ -8,6 +8,7 @@ Usage::
     python -m repro.bench all --quick      # reduced sweeps
     python -m repro.bench fig6 --json out.json
     python -m repro.bench fig4 --transport ring   # ring instead of free list
+    python -m repro.bench all --repeat 3   # interleaved min-of-3 walls
 
 Each figure prints the table of series the paper plots; ``--json``
 archives the raw points.  ``--transport ring`` reruns the workload
@@ -225,8 +226,10 @@ def profile_main(argv: list[str]) -> int:
     import pstats
 
     from ..machine.engine import disable_label_profile, enable_label_profile
+    from ..machine.stats import disable_report_profile, enable_report_profile
 
     labels = enable_label_profile() if args.top else None
+    crossings = enable_report_profile() if args.top else None
     pr = cProfile.Profile()
     t0 = time.perf_counter()
     pr.enable()
@@ -236,6 +239,8 @@ def profile_main(argv: list[str]) -> int:
         pr.disable()
         if labels is not None:
             disable_label_profile()
+        if crossings is not None:
+            disable_report_profile()
     wall = time.perf_counter() - t0
     print(result.format_table())
     print(f"  [{wall:.1f}s wall under the profiler]\n")
@@ -251,6 +256,17 @@ def profile_main(argv: list[str]) -> int:
         for label, (n, secs) in ranked[: args.top]:
             print(f"  {label:<16} {n:>10} {100 * n / total_n:>5.1f}% "
                   f"{secs:>12.6f} {100 * secs / total_s:>5.1f}%")
+    if crossings is not None and crossings["runs"]:
+        ev = crossings["events"]
+        pops = crossings["heap_pops"]
+        batches = crossings["epoch_batches"]
+        print(f"\nheap crossings ({args.figure}, summed over "
+              f"{crossings['runs']} simulations):")
+        print(f"  events {ev:,}  heap pushes {crossings['heap_pushes']:,}  "
+              f"pops {pops:,}  events/pop {ev / pops if pops else float('inf'):,.1f}")
+        print(f"  epoch batches {batches:,}  epoch events "
+              f"{crossings['epoch_events']:,}  mean batch "
+              f"{crossings['epoch_events'] / batches if batches else 0.0:,.1f}")
     if args.out:
         stats.dump_stats(args.out)
         print(f"wrote {args.out}")
@@ -301,9 +317,19 @@ def main(argv: list[str] | None = None) -> int:
         "--timings", metavar="PATH",
         help="write per-figure wall seconds as JSON",
     )
+    parser.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="measure each figure N times in interleaved rounds and "
+        "report the per-figure minimum wall (results come from round "
+        "one; the runs are deterministic).  Interleaving keeps minima "
+        "comparable across figures and across bench invocations under "
+        "machine-load drift — use this for A/B timing claims",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.repeat < 1:
+        parser.error("--repeat must be >= 1")
 
     names = list(FIGURES) if "all" in args.figures else args.figures
     unknown = [n for n in names if n not in FIGURES]
@@ -312,19 +338,15 @@ def main(argv: list[str] | None = None) -> int:
 
     import inspect as _inspect
 
-    outputs = []
-    timings: dict[str, float] = {}
-    total0 = time.perf_counter()
-    for name in names:
+    def _kwargs_for(name: str) -> dict:
         kwargs = {}
         if "transport" in _inspect.signature(FIGURES[name]).parameters:
             kwargs["transport"] = args.transport
         elif args.transport != "freelist":
             print(f"({name} has no transport knob; running as-is)")
-        t0 = time.perf_counter()
-        result = FIGURES[name](args.quick, args.jobs, **kwargs)
-        wall = time.perf_counter() - t0
-        timings[name] = round(wall, 2)
+        return kwargs
+
+    def _emit(result, wall: float) -> None:
         print(result.format_table())
         extras = result.format_extras()
         if extras:
@@ -335,9 +357,40 @@ def main(argv: list[str] | None = None) -> int:
 
             print()
             print(ascii_plot(result))
-        print(f"  [{wall:.1f}s wall]")
+        tag = f" (min of {args.repeat})" if args.repeat > 1 else ""
+        print(f"  [{wall:.1f}s wall{tag}]")
         print()
-        outputs.append(result.to_dict())
+
+    outputs = []
+    timings: dict[str, float] = {}
+    total0 = time.perf_counter()
+    if args.repeat > 1:
+        from functools import partial
+
+        from .figures import reset_run_cache
+        from .harness import interleaved_rounds
+
+        runners = {
+            name: partial(FIGURES[name], args.quick, args.jobs,
+                          **_kwargs_for(name))
+            for name in names
+        }
+        rounds = interleaved_rounds(runners, args.repeat,
+                                    before_round=reset_run_cache)
+        for name in names:
+            wall, result = rounds[name]
+            timings[name] = round(wall, 2)
+            _emit(result, wall)
+            outputs.append(result.to_dict())
+    else:
+        for name in names:
+            kwargs = _kwargs_for(name)
+            t0 = time.perf_counter()
+            result = FIGURES[name](args.quick, args.jobs, **kwargs)
+            wall = time.perf_counter() - t0
+            timings[name] = round(wall, 2)
+            _emit(result, wall)
+            outputs.append(result.to_dict())
     total = time.perf_counter() - total0
 
     if args.json:
@@ -348,6 +401,7 @@ def main(argv: list[str] | None = None) -> int:
         payload = {
             "jobs": args.jobs,
             "quick": args.quick,
+            "repeat": args.repeat,
             "figures": timings,
             "total_seconds": round(total, 2),
         }

@@ -18,6 +18,7 @@ __all__ = [
     "Series",
     "SweepResult",
     "run_series",
+    "interleaved_rounds",
     "format_rate",
     "shutdown_pool",
 ]
@@ -206,6 +207,44 @@ def shutdown_pool() -> None:
         _POOL.shutdown()
         _POOL = None
         _POOL_JOBS = 0
+
+
+def interleaved_rounds(
+    runners: "dict[str, Callable[[], object]]",
+    rounds: int,
+    before_round: Callable[[], None] | None = None,
+) -> "dict[str, tuple[float, object]]":
+    """Wall-time labeled runs as interleaved min-of-N rounds.
+
+    Runs every runner once per round, round-robin — A B C, A B C, … —
+    and returns ``{label: (best_wall_seconds, first_round_result)}``.
+    Interleaving is what makes the minima comparable *between* labels:
+    machine-load drift (CPU frequency, cache pressure, a background
+    process) hits all labels of a round roughly equally instead of
+    biasing whichever config happened to run during the slow stretch,
+    and the min-of-N discards the rounds that drift inflated.  Results
+    are taken from round one; the runs are deterministic, so later
+    rounds only re-measure time, never change answers.
+
+    ``before_round`` runs before each round — the hook for dropping
+    memo caches so every round re-measures real work.
+    """
+    import time as _time
+
+    best: dict[str, tuple[float, object]] = {}
+    for rnd in range(max(1, rounds)):
+        if before_round is not None:
+            before_round()
+        for label, fn in runners.items():
+            t0 = _time.perf_counter()
+            result = fn()
+            wall = _time.perf_counter() - t0
+            prev = best.get(label)
+            if prev is None:
+                best[label] = (wall, result)
+            elif wall < prev[0]:
+                best[label] = (wall, prev[1])
+    return best
 
 
 def run_series(

@@ -31,7 +31,7 @@ it returns only after a message has been received").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from .work import Work
 
@@ -44,6 +44,7 @@ __all__ = [
     "Wake",
     "FusedSection",
     "Effect",
+    "steps_horizon",
     "S_CHARGE",
     "S_MANY",
     "S_ACQ",
@@ -199,6 +200,76 @@ class FusedSection:
     """
 
     steps: tuple
+    #: Memoized :func:`steps_horizon` of ``steps`` (lazy; excluded from
+    #: equality/hash so memoized sections stay interchangeable).
+    _hzn: object = field(default=None, compare=False, repr=False)
+    #: Priced-horizon memo owned by the sim engine's epoch batcher
+    #: (``machine/engine.py``): ``(analytic_key, parts, stop_idx,
+    #: base_dts, base_total)`` where ``base_dts`` are the horizon parts'
+    #: un-oversubscribed durations under ``analytic_key``'s timing
+    #: constants.  Keyed by the timing model's ``analytic_charge`` tuple
+    #: (identity-checked) so a section can never be replayed under
+    #: constants it was not priced for.
+    _priced: object = field(default=None, compare=False, repr=False)
+
+    def contention_horizon(self):
+        """The section's analytically-priceable prefix, memoized.
+
+        Returns ``(parts, stop_idx, stop_op)`` — see :func:`steps_horizon`.
+        Sections are cached per ``(slot, pid)`` in ``core/ops.py`` /
+        ``core/transport.py`` and reused across millions of events, so
+        the flattening runs once per cached section, not once per send.
+        The memo only ever describes the *static* ``steps`` tuple: a
+        spliced continuation replaces the interpreter's local steps
+        list, never this object's field.
+        """
+        h = self._hzn
+        if h is None:
+            h = steps_horizon(self.steps)
+            object.__setattr__(self, "_hzn", h)
+        return h
+
+
+def steps_horizon(steps: tuple, idx: int = 0):
+    """Flatten the pure-compute prefix of a fused-section step list.
+
+    Scans ``steps`` from ``idx`` collecting ``S_CHARGE``/``S_MANY`` parts
+    whose :class:`~repro.core.work.Work` is instruction/flop-only —
+    exactly the work the engine can price with the closed-form
+    expression ``instrs*t_instr + flops*t_flop`` (× the oversubscription
+    stretch), bit-for-bit what ``BalanceTiming.price`` computes for it.
+    The scan stops at the first step that can interact with anything
+    outside the process: a lock acquire/release, a wake, a call (whose
+    directive may splice), or a charge carrying ``copy_bytes`` /
+    ``blocks`` / ``page_bytes`` (stateful bus/cache/VM inputs).
+
+    Returns ``(parts, stop_idx, stop_op)`` where ``parts`` is the flat
+    tuple of :class:`Work` parts (one simulated event each — the flat
+    length IS the event count, since ``S_MANY`` with ``k`` parts retires
+    ``k`` events), ``stop_idx`` indexes the first unconsumed step, and
+    ``stop_op`` is its opcode (``None`` if the section ends first).
+    This is the "contention horizon" of the epoch batcher
+    (``machine/engine.py``): until ``stop_idx`` the process provably
+    cannot contend, so its timeline may be advanced in one batch.
+    """
+    parts: list = []
+    i = idx
+    n = len(steps)
+    while i < n:
+        op, arg = steps[i]
+        if op == S_CHARGE:
+            if arg.copy_bytes or arg.blocks or arg.page_bytes:
+                break
+            parts.append(arg)
+        elif op == S_MANY:
+            if not arg or any(
+                    w.copy_bytes or w.blocks or w.page_bytes for w in arg):
+                break
+            parts.extend(arg)
+        else:
+            break
+        i += 1
+    return tuple(parts), i, (steps[i][0] if i < n else None)
 
 
 Effect = Acquire | Release | Charge | ChargeMany | WaitOn | Wake | FusedSection

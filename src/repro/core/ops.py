@@ -1209,6 +1209,10 @@ def _make_send_section(view, slot, pid, gen, lnvc_id):
     section1 = FusedSection(
         (view._fs_send_fixed, view._fs_alloc_acq, alloc_call)
     )
+    # Warm the epoch batcher's horizon memo while the section is being
+    # cached (here and below): one flattening per (slot, pid) cache
+    # entry instead of a lazy fill on the first simulated send.
+    section1.contention_horizon()
     return [gen, ctx, section1, None, None, {},
             alloc_call, (S_CALL, _link), (S_CALL, _tfill)]
 
@@ -1261,6 +1265,7 @@ def _send_fused(
             view._fs_alloc_acq,
             ent[6],
         ))
+        section1.contention_horizon()
         ent[3] = prelude
         ent[4] = section1
     res = yield section1
@@ -1295,6 +1300,7 @@ def _send_fused(
             steps2.append(ent[8])
         steps2 += [view._fs_acq[slot], ent[7], view._fs_wake[slot]]
         section2 = sec2_memo[length] = FusedSection(tuple(steps2))
+        section2.contention_horizon()
     res = yield section2
     if res.__class__ is int:
         return res
@@ -1704,6 +1710,7 @@ def _make_recv_section(view, slot, pid, gen, lnvc_id):
     entry_sec = FusedSection(
         (view._fs_recv_fixed, view._fs_acq[slot], (S_CALL, _find))
     )
+    entry_sec.contention_horizon()
     return [gen, ctx, entry_sec, {}, (S_CALL, _tdrain), (S_CALL, _done)]
 
 
@@ -1893,6 +1900,7 @@ def message_receive(
                 steps_b.append(ent[4])
             steps_b += [view._fs_acq[slot], ent[5]]
             section = comp_memo[(length, nblk)] = FusedSection(tuple(steps_b))
+            section.contention_horizon()
         yield section
         t_drain = ctx[_RX_T_DRAIN] if causal is not None else 0.0
     else:
@@ -1972,6 +1980,7 @@ def _make_check_section(view, slot, pid, gen, lnvc_id):
     section = FusedSection(
         (view._fs_check_fixed, view._fs_acq[slot], (S_CALL, _walk))
     )
+    section.contention_horizon()
     return [gen, _walk, section, None, None]
 
 
@@ -2031,6 +2040,7 @@ def check_receive(
                 view._fs_acq[slot],
                 (S_CALL, ent[1]),
             ))
+            section.contention_horizon()
             ent[3] = prelude
             ent[4] = section
         res = yield section

@@ -794,9 +794,12 @@ def _make_ring_check_section(view, slot, pid, gen, lnvc_id):
             S_CHARGE, Work(instrs=walked * c.list_step, label="check-walk"))
         return (D_RESULT_SPLICE, count, (wstep, fs_rel))
 
-    return [gen, _walk, FusedSection(
+    section = FusedSection(
         (view._fs_check_fixed, view._fs_acq[slot], (S_CALL, _walk))
-    ), None, None]
+    )
+    # Warm the epoch batcher's horizon memo with the cached section.
+    section.contention_horizon()
+    return [gen, _walk, section, None, None]
 
 
 def ring_check(view, pid: int, lnvc_id: int,
@@ -827,6 +830,7 @@ def ring_check(view, pid: int, lnvc_id: int,
         else:
             section = FusedSection(((S_MANY, (prelude, view._check_fixed_work)),
                                     view._fs_acq[slot], (S_CALL, ent[1])))
+            section.contention_horizon()
             ent[3] = prelude
             ent[4] = section
         res = yield section

@@ -12,7 +12,38 @@ from dataclasses import dataclass
 from .cpu import BalanceTiming
 from .engine import Engine
 
-__all__ = ["MachineReport", "collect_report"]
+__all__ = [
+    "MachineReport",
+    "collect_report",
+    "enable_report_profile",
+    "disable_report_profile",
+]
+
+#: When enabled (``python -m repro.bench profile --top N``), every
+#: :func:`collect_report` folds its engine's heap-crossing counters into
+#: this accumulator, summing across all the simulations a figure runs —
+#: the engine-level analog of the effect-label profile.
+_REPORT_PROF: dict[str, int] | None = None
+
+
+def enable_report_profile() -> dict[str, int]:
+    """Start accumulating heap-crossing counters across reports."""
+    global _REPORT_PROF
+    _REPORT_PROF = {
+        "runs": 0,
+        "events": 0,
+        "heap_pushes": 0,
+        "heap_pops": 0,
+        "epoch_batches": 0,
+        "epoch_events": 0,
+    }
+    return _REPORT_PROF
+
+
+def disable_report_profile() -> None:
+    """Stop accumulating (drops the reference; caller keeps the dict)."""
+    global _REPORT_PROF
+    _REPORT_PROF = None
 
 
 @dataclass(frozen=True)
@@ -42,6 +73,18 @@ class MachineReport:
     #: Cache read-miss stalls (block-equivalents) and time lost (cache model).
     cache_stalled_blocks: float
     cache_stall_seconds: float
+    #: Event-heap crossings: how many events actually travelled through
+    #: the heap (push + pop) versus being retired inline by the
+    #: pending-resume slot or the epoch batcher.  ``events / heap_pops``
+    #: is the events-retired-per-pop ratio — the jitter-proof evidence
+    #: that batching removed scheduler traffic (wall clocks drift with
+    #: machine load; these counters are deterministic).
+    heap_pushes: int = 0
+    heap_pops: int = 0
+    #: Epoch batches entered and events retired inside them; their ratio
+    #: is the mean quiescent-stretch (batch) size.
+    epoch_batches: int = 0
+    epoch_events: int = 0
 
     def as_dict(self) -> dict[str, float]:
         return {k: getattr(self, k) for k in self.__dataclass_fields__}
@@ -49,6 +92,15 @@ class MachineReport:
 
 def collect_report(engine: Engine, timing: BalanceTiming) -> MachineReport:
     """Assemble a :class:`MachineReport` from a finished engine."""
+    prof = _REPORT_PROF
+    if prof is not None:
+        s = engine.stats
+        prof["runs"] += 1
+        prof["events"] += s.events
+        prof["heap_pushes"] += s.heap_pushes
+        prof["heap_pops"] += s.heap_pops
+        prof["epoch_batches"] += s.epoch_batches
+        prof["epoch_events"] += s.epoch_events
     return MachineReport(
         sim_seconds=engine.now,
         events=engine.stats.events,
@@ -64,4 +116,8 @@ def collect_report(engine: Engine, timing: BalanceTiming) -> MachineReport:
         fault_seconds=timing.vm.fault_time,
         cache_stalled_blocks=timing.cache.stalled_blocks,
         cache_stall_seconds=timing.cache.stall_time,
+        heap_pushes=engine.stats.heap_pushes,
+        heap_pops=engine.stats.heap_pops,
+        epoch_batches=engine.stats.epoch_batches,
+        epoch_events=engine.stats.epoch_events,
     )

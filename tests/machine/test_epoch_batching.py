@@ -1,0 +1,225 @@
+"""Cross-process epoch batching: the identity and bypass guarantees.
+
+The epoch batcher (``machine/engine.py::_run_epoch``) retires whole
+quiescent stretches of *several* processes without touching the event
+heap, with ``MPF_EPOCH=off`` falling back to classic per-event heap
+traffic.  Everything rides on byte-identity; this module pins it:
+
+* randomized fcfs scenarios (both transports, fused protocol sections
+  interleaved with classic effects) produce byte-identical measurements
+  and identical causal event streams epoch on vs off;
+* serving sweep points — the shed and the stall backpressure shape —
+  are byte-identical on vs off;
+* the heap-crossing counters prove the batching actually happened
+  (events retired per pop collapses) and that controlled-scheduler
+  runs never enter an epoch, so ``repro.check`` enumerates the exact
+  same decision traces either way.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.bench.figures import reset_run_cache
+from repro.bench.workloads import fcfs_throughput
+from repro.core.effects import (
+    S_ACQ,
+    S_CALL,
+    S_CHARGE,
+    S_MANY,
+    S_REL,
+    FusedSection,
+    steps_horizon,
+)
+from repro.core.work import Work
+from repro.machine import engine as engine_mod
+from repro.machine.engine import Engine, ZeroTimingModel
+from repro.obs import Recorder
+from repro.serve.sweep import run_point
+from repro.serve.topology import ServeShape
+
+
+@pytest.fixture
+def restore_epoch():
+    prev = engine_mod.epoch_enabled()
+    yield
+    engine_mod.set_epoch(prev)
+    reset_run_cache()
+
+
+def _with_epoch(on: bool, fn):
+    engine_mod.set_epoch(on)
+    reset_run_cache()
+    return fn()
+
+
+# -- randomized scenario fuzz ------------------------------------------------
+
+
+@pytest.mark.parametrize("transport", ["freelist", "ring"])
+def test_randomized_fcfs_identical(transport, restore_epoch):
+    """Seeded random fcfs shapes: measurements and causal streams match."""
+    rng = random.Random(0xE90C + (transport == "ring"))
+    for _ in range(4):
+        n = rng.randint(2, 6)
+        length = rng.choice((16, 64, 512))
+        messages = rng.randint(8, 40)
+
+        def run():
+            rec = Recorder(causal=True)
+            m = fcfs_throughput(n, length, messages=messages,
+                                recorder=rec, transport=transport)
+            return m, rec
+
+        (m_on, rec_on) = _with_epoch(True, run)
+        (m_off, rec_off) = _with_epoch(False, run)
+        case = (transport, n, length, messages)
+        assert m_on.throughput == m_off.throughput, case
+        assert m_on.run.report.as_dict() == pytest.approx(
+            {**m_off.run.report.as_dict(),
+             # The crossing counters are *supposed* to differ: that is
+             # the whole point of the batcher.
+             "heap_pushes": m_on.run.report.heap_pushes,
+             "heap_pops": m_on.run.report.heap_pops,
+             "epoch_batches": m_on.run.report.epoch_batches,
+             "epoch_events": m_on.run.report.epoch_events}), case
+        assert rec_on.causal.events == rec_off.causal.events, case
+        assert rec_on.causal.total == rec_off.causal.total, case
+
+
+def test_fcfs_report_events_and_clock_exact(restore_epoch):
+    """Events, sim clock and charge count match exactly (not approx)."""
+    def run():
+        m = fcfs_throughput(4, 64, messages=60)
+        rep = m.run.report
+        return (rep.sim_seconds, rep.events, rep.lock_acquires,
+                rep.lock_contended, rep.wakes, rep.woken)
+
+    assert _with_epoch(True, run) == _with_epoch(False, run)
+
+
+# -- serving sweep shapes ----------------------------------------------------
+
+
+@pytest.mark.parametrize("policy", ["shed", "stall"])
+def test_serve_point_identical(policy, restore_epoch):
+    """One overloaded serving point per backpressure policy, on vs off."""
+    shape = ServeShape(clients=2, frontends=2, workers=2, queue_cap=4,
+                       pool_batches=8, policy=policy)
+
+    def run():
+        point, _ = run_point(shape, rate=400.0, n_requests=40)
+        return json.dumps(point, sort_keys=True)
+
+    assert _with_epoch(True, run) == _with_epoch(False, run)
+
+
+# -- the contention horizon --------------------------------------------------
+
+
+def test_steps_horizon_pure_prefix():
+    w = Work(instrs=5, label="a")
+    many = (Work(instrs=1, label="b"), Work(instrs=2, flops=3, label="c"))
+    steps = ((S_CHARGE, w), (S_MANY, many), (S_ACQ, 0),
+             (S_CHARGE, w), (S_REL, 0))
+    parts, stop_idx, stop_op = steps_horizon(steps)
+    assert parts == (w,) + many  # flattened, one event per part
+    assert stop_idx == 2
+    assert stop_op == S_ACQ
+
+
+def test_steps_horizon_stops_at_stateful_work():
+    copy = Work(instrs=1, copy_bytes=64, label="copy")
+    steps = ((S_CHARGE, Work(instrs=2, label="a")), (S_CHARGE, copy))
+    parts, stop_idx, stop_op = steps_horizon(steps)
+    assert len(parts) == 1 and stop_idx == 1 and stop_op == S_CHARGE
+    # S_MANY with any stateful part contributes nothing.
+    assert steps_horizon(((S_MANY, (copy,)),)) == ((), 0, S_MANY)
+    # A call ends the horizon: its directive may splice anything.
+    assert steps_horizon(((S_CALL, lambda: None),)) == ((), 0, S_CALL)
+
+
+def test_contention_horizon_memoized():
+    sec = FusedSection(((S_CHARGE, Work(instrs=3, label="x")), (S_ACQ, 1)))
+    h1 = sec.contention_horizon()
+    assert h1 == (( Work(instrs=3, label="x"),), 1, S_ACQ)
+    assert sec.contention_horizon() is h1  # lazy memo, computed once
+
+
+# -- counters: the jitter-proof evidence -------------------------------------
+
+
+def _charge_heavy_engine(trace=None):
+    """Eight timelines of pure fused charges: worst case for the heap."""
+    class UnitTiming(ZeroTimingModel):
+        def price(self, work, running):
+            return work.instrs * 1e-6
+
+    eng = Engine(n_locks=1, n_channels=0, timing=UnitTiming(), n_cpus=64,
+                 trace=trace)
+    sec = FusedSection(tuple(
+        (S_CHARGE, Work(instrs=7, label="w")) for _ in range(10)))
+    for p in range(8):
+        def body(p=p):
+            yield FusedSection(((S_CHARGE, Work(instrs=3 * p + 1,
+                                                label="d")),))
+            for _ in range(50):
+                yield sec
+        eng.spawn(f"p{p}", body())
+    return eng
+
+
+def test_counters_show_batching(restore_epoch):
+    engine_mod.set_epoch(True)
+    eng_on = _charge_heavy_engine()
+    eng_on.run()
+    engine_mod.set_epoch(False)
+    eng_off = _charge_heavy_engine()
+    eng_off.run()
+    on, off = eng_on.stats, eng_off.stats
+    assert (on.events, eng_on.now) == (off.events, eng_off.now)
+    assert off.epoch_batches == 0 and off.epoch_events == 0
+    assert on.epoch_batches >= 1
+    assert on.epoch_events > 0.9 * on.events
+    # The acceptance gate's shape: >= 2x fewer heap crossings.
+    assert off.heap_pops >= 2 * max(1, on.heap_pops)
+    assert on.heap_pushes == on.heap_pops  # crossings stay balanced
+
+
+def test_epoch_off_env_knob(monkeypatch, restore_epoch):
+    """MPF_EPOCH=off disables batching at import-default level."""
+    engine_mod.set_epoch(True)
+    assert engine_mod.epoch_enabled()
+    engine_mod.set_epoch(False)
+    assert not engine_mod.epoch_enabled()
+
+
+# -- controlled-scheduler bypass ---------------------------------------------
+
+
+def test_controlled_runs_never_batch(restore_epoch):
+    """repro.check sees every decision point: same traces on vs off."""
+    from repro.check.scenarios import SCENARIOS
+    from repro.check.scheduler import RandomPolicy, run_schedule
+
+    scenario = SCENARIOS["fcfs-race"]
+
+    def run():
+        out = run_schedule(scenario, RandomPolicy(seed=7))
+        return out.status, out.decisions, out.widths, out.events
+
+    a = _with_epoch(True, run)
+    b = _with_epoch(False, run)
+    assert a == b
+    assert a[0] == "ok"
+
+
+def test_traced_runs_never_batch(restore_epoch):
+    """A trace hook forces the classic loop (epoch path emits no trace)."""
+    engine_mod.set_epoch(True)
+    events = []
+    eng = _charge_heavy_engine(trace=lambda *a: events.append(a))
+    eng.run()
+    assert eng.stats.epoch_batches == 0
+    assert events
