@@ -16,7 +16,7 @@ FUSION ?= on
 EPOCH ?= on
 
 .PHONY: install test bench shapes figures figures-quick check trace-smoke \
-	serve profile clean
+	serve telemetry-smoke regress profile clean
 
 install:
 	pip install -e '.[dev]' || pip install -e '.[dev]' --no-build-isolation
@@ -80,6 +80,33 @@ serve:
 	print('serve smoke ok:', \
 	      [f'{d[\"runtime\"]}: {d[\"total_mpf_messages\"]} msgs' \
 	       for d in docs])"
+
+# Windowed-telemetry smoke: a quick threads serve probe with the live
+# scrape endpoint up, the archived mpf-serve-timeline/1 document
+# re-validated strictly, and the mid-run scrape + health attribution
+# tests (which poll /metrics while a real threads probe is in flight).
+# See docs/telemetry.md.
+telemetry-smoke:
+	$(PY) -m repro.bench serve --quick --runtime threads \
+		--loads 60,200 --duration 1.5 \
+		--timeline /tmp/mpf_serve-timeline.json --live
+	$(PY) -c "\
+	import json; \
+	from repro.serve.slo import validate_timeline; \
+	doc = json.load(open('/tmp/mpf_serve-timeline.json')); \
+	validate_timeline(doc); \
+	print('telemetry smoke ok:', \
+	      len(doc['timeline']['windows']), 'windows,', \
+	      len(doc['findings']), 'finding(s),', \
+	      'clock', doc['timeline']['clock'])"
+	$(PY) -m pytest tests/obs/test_live.py tests/obs/test_health.py \
+		tests/serve/test_timeline_doc.py -q
+
+# Wall-clock trajectory gate over the committed BENCH_*.json archives:
+# fails when the newest snapshot regressed figure-by-figure past the
+# noise-aware threshold.  See docs/telemetry.md.
+regress:
+	$(PY) -m repro.bench regress
 
 figures:
 	MPF_FUSION=$(FUSION) MPF_EPOCH=$(EPOCH) $(PY) -m repro.bench all --jobs $(JOBS) \

@@ -37,10 +37,19 @@ threads/processes)::
 
 The ``serve`` subcommand runs the open-loop serving sweep
 (:mod:`repro.serve`) — goodput and SLO latency vs offered load for the
-unbatched baseline against send batching and the sharded free list::
+unbatched baseline against send batching and the sharded free list;
+``--timeline`` adds the windowed-telemetry document and health findings
+and ``--live`` a mid-run scrape endpoint (docs/telemetry.md)::
 
     python -m repro.bench serve --quick
     python -m repro.bench serve --jobs 4 --json slo.json --prom serve.prom
+    python -m repro.bench serve --quick --timeline serve-timeline.json
+
+The ``regress`` subcommand compares the newest archived
+``BENCH_*.json`` wall-clock snapshot against its predecessor and exits
+nonzero when a figure slowed past the noise-aware threshold::
+
+    python -m repro.bench regress --dir . --tolerance 0.5
 
 ``--chrome`` writes one ``chrome://tracing`` file per runtime (open via
 the "Load" button there or in https://ui.perfetto.dev), ``--jsonl`` one
@@ -149,6 +158,16 @@ def trace_main(argv: list[str]) -> int:
         print(f"{args.figure} lock profile — {kind} runtime, "
               f"{unit}={top}:")
         print(rec.format_lock_profile())
+        if rec.machine:
+            ev = rec.machine.get("events", 0)
+            pops = rec.machine.get("heap_pops", 0)
+            batches = rec.machine.get("epoch_batches", 0)
+            print(f"  heap crossings: {ev:,} events, "
+                  f"{rec.machine.get('heap_pushes', 0):,} pushes, "
+                  f"{pops:,} pops "
+                  f"({ev / pops if pops else float('inf'):,.1f} events/pop); "
+                  f"{batches:,} epoch batches retiring "
+                  f"{rec.machine.get('epoch_events', 0):,} events")
         if args.causal and rec.causal is not None:
             from ..obs import (
                 detect_stalls, flow_dot, flow_from_causal, format_sojourn,
@@ -283,6 +302,10 @@ def main(argv: list[str] | None = None) -> int:
         from ..serve.cli import serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "regress":
+        from .regress import regress_main
+
+        return regress_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the MPF paper's figures on the simulated "

@@ -151,11 +151,14 @@ def _measured_run(fn, n: int, length: int, msgs: int, transport: str,
 
 
 def _fig3_point(msgs: int, length: int, causal: bool = False,
+                timeline: bool = False,
                 transport: str = "freelist") -> tuple[float, dict]:
     # With causal=True a tracer rides along (limit=0 skips span
     # recording) but the returned point is unchanged: the acceptance
     # check that traced fig3 output is byte-identical to untraced.
-    rec = Recorder(limit=0, causal=True) if causal else None
+    # timeline=True windows the run's telemetry under the same pin.
+    rec = Recorder(limit=0, causal=causal, timeline=timeline) \
+        if (causal or timeline) else None
     m = base_throughput(length, messages=msgs, recorder=rec,
                         transport=transport)
     return m.throughput, {}
@@ -200,6 +203,7 @@ def _fig8_point(m: int, iters: int, n: int) -> tuple[float, dict]:
 
 
 def fig3(quick: bool = False, jobs: int = 1, causal: bool = False,
+         timeline: bool = False,
          transport: str = "freelist") -> SweepResult:
     """Figure 3: base benchmark, loop-back throughput vs message length."""
     result = SweepResult(
@@ -209,7 +213,8 @@ def fig3(quick: bool = False, jobs: int = 1, causal: bool = False,
     lengths = (64, 256, 1024, 2048) if quick else (16, 64, 128, 256, 512, 768, 1024, 1536, 2048)
     msgs = 24 if quick else 64
     run_series(result, "base", lengths,
-               partial(_fig3_point, msgs, causal=causal, transport=transport),
+               partial(_fig3_point, msgs, causal=causal, timeline=timeline,
+                       transport=transport),
                jobs=jobs)
     result.note("paper: rises toward a ~22-25 KB/s asymptote; memory/copy bound")
     if transport != "freelist":

@@ -1,0 +1,150 @@
+"""``python -m repro.bench regress`` — the wall-time trajectory gate.
+
+Every PR archives its figure wall clocks as ``BENCH_<label>.json`` (the
+``--timings`` output, wrapped in whatever envelope that PR used).  This
+tool loads the whole trajectory, compares the newest snapshot against
+its predecessor figure-by-figure, and exits nonzero when a figure got
+slower by more than the noise-aware threshold — the CI step that keeps
+"the interpreter got 40% slower" from landing silently.
+
+The threshold is deliberately generous: BENCH_pr9.json documents that
+wall clocks on the virtualized 1-CPU CI/dev hosts drift by ~10% on the
+timescale of a full run, so single-digit-percent deltas are weather,
+not signal.  A figure is flagged only when it is BOTH ``--tolerance``
+(default 50%) slower relatively AND ``--min-delta`` (default 0.2s)
+slower absolutely — tiny figures jitter wildly in relative terms while
+staying irrelevant in absolute ones.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import re
+
+__all__ = ["load_bench", "order_bench", "compare_bench", "regress_main"]
+
+_LABEL_RE = re.compile(r"BENCH_(?:pr)?(\d+|seed)\.json$")
+
+
+def load_bench(path: str) -> dict:
+    """Normalize one ``BENCH_*.json`` into ``{label, figures, total}``.
+
+    The envelope drifted across PRs — per-figure walls live at
+    ``$.figures`` in the earliest files and at ``$.serial.figures``
+    later — so this reader accepts both and derives a total when none
+    was archived.
+    """
+    with open(path) as fh:
+        doc = json.load(fh)
+    serial = doc.get("serial") if isinstance(doc.get("serial"), dict) \
+        else {}
+    figures = serial.get("figures") or doc.get("figures") or {}
+    if not isinstance(figures, dict) or not figures:
+        raise ValueError(f"{path}: no per-figure walls found")
+    # Some envelopes fold a roll-up key into the figure dict itself.
+    rollup = figures.pop("sum_of_min_walls", None)
+    figures = {name: float(wall) for name, wall in figures.items()}
+    total = (rollup or serial.get("total_seconds")
+             or doc.get("total_seconds") or doc.get("total_wall_seconds")
+             or round(sum(figures.values()), 2))
+    m = _LABEL_RE.search(os.path.basename(path))
+    label = doc.get("label") or (f"pr{m.group(1)}" if m and m.group(1)
+                                 != "seed" else "seed")
+    return {"label": label, "path": path, "figures": figures,
+            "total": float(total)}
+
+
+def _seq(path: str) -> int:
+    m = _LABEL_RE.search(os.path.basename(path))
+    if not m:
+        return -1
+    return 0 if m.group(1) == "seed" else int(m.group(1))
+
+
+def order_bench(paths: list[str]) -> list[str]:
+    """Trajectory order: ``BENCH_seed`` first, then ``BENCH_prN`` by N."""
+    known = [p for p in paths if _LABEL_RE.search(os.path.basename(p))]
+    return sorted(known, key=_seq)
+
+
+def compare_bench(prior: dict, newest: dict, tolerance: float,
+                  min_delta: float) -> tuple[list[dict], list[str]]:
+    """Figure-by-figure rows plus the list of regressed figure names."""
+    rows, regressed = [], []
+    for name in sorted(set(prior["figures"]) | set(newest["figures"])):
+        old = prior["figures"].get(name)
+        new = newest["figures"].get(name)
+        row = {"figure": name, "prior": old, "newest": new}
+        if old is None or new is None:
+            row["verdict"] = "added" if old is None else "removed"
+        else:
+            ratio = new / old if old > 0 else float("inf")
+            row["ratio"] = ratio
+            slow = ratio > 1.0 + tolerance and new - old > min_delta
+            row["verdict"] = "REGRESSED" if slow else "ok"
+            if slow:
+                regressed.append(name)
+        rows.append(row)
+    return rows, regressed
+
+
+def regress_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench regress",
+        description="Compare the newest BENCH_*.json wall-clock snapshot "
+        "against its predecessor and fail on figure-level regressions.",
+    )
+    parser.add_argument(
+        "--dir", default=".", metavar="PATH",
+        help="directory holding the BENCH_*.json trajectory (default .)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.5, metavar="FRAC",
+        help="relative slowdown that counts as a regression (default "
+        "0.5 = 50%%; the archived runs document ~10%% ambient host "
+        "drift, so keep this comfortably above that)",
+    )
+    parser.add_argument(
+        "--min-delta", type=float, default=0.2, metavar="SECONDS",
+        help="absolute slowdown floor (default 0.2s): sub-second "
+        "figures jitter hugely in relative terms",
+    )
+    args = parser.parse_args(argv)
+
+    paths = order_bench(glob.glob(os.path.join(args.dir, "BENCH_*.json")))
+    if len(paths) < 2:
+        print(f"bench regress: need at least two BENCH_*.json snapshots "
+              f"in {args.dir!r}, found {len(paths)} — nothing to compare")
+        return 0
+    prior, newest = load_bench(paths[-2]), load_bench(paths[-1])
+    rows, regressed = compare_bench(prior, newest, args.tolerance,
+                                    args.min_delta)
+
+    print(f"bench regress: {newest['label']} vs {prior['label']} "
+          f"(tolerance +{100 * args.tolerance:g}%, "
+          f"floor {args.min_delta:g}s)")
+    width = max(len(r["figure"]) for r in rows)
+    print(f"  {'figure':<{width}} {'prior s':>9} {'newest s':>9} "
+          f"{'ratio':>7}  verdict")
+    for r in rows:
+        old = "-" if r["prior"] is None else f"{r['prior']:.2f}"
+        new = "-" if r["newest"] is None else f"{r['newest']:.2f}"
+        ratio = f"{r['ratio']:.2f}x" if "ratio" in r else "-"
+        print(f"  {r['figure']:<{width}} {old:>9} {new:>9} {ratio:>7}  "
+              f"{r['verdict']}")
+    print(f"  {'TOTAL':<{width}} {prior['total']:>9.2f} "
+          f"{newest['total']:>9.2f}")
+    print("  note: walls on the archived virtualized 1-CPU hosts drift "
+          "by ~10% run-to-run (see BENCH_pr9.json); deltas inside the "
+          "tolerance are weather, not signal.")
+    if regressed:
+        print(f"  REGRESSION: {', '.join(regressed)} slowed past the "
+              "threshold — investigate before merging (or re-measure "
+              "interleaved, as BENCH_pr9.json did, if host drift is "
+              "suspected).")
+        return 1
+    print("  no figure regressed past the threshold.")
+    return 0

@@ -248,6 +248,7 @@ class MPFView:
         "_send_cache",
         "_recv_cache",
         "causal",
+        "timeline",
         "fuse",
         "_fs_acq",
         "_fs_rel",
@@ -374,6 +375,12 @@ class MPFView:
         #: plain attribute-gated Python calls, never new effects, so the
         #: simulated schedule is untouched by observation.
         self.causal = None
+        #: Optional :class:`repro.obs.timeline.Timeline` attached by a
+        #: runtime.  Same contract as ``causal``: the hot paths gate on
+        #: ``is not None`` and feed windowed counters/gauges with plain
+        #: calls — never a new effect — so telemetry cannot perturb a
+        #: simulated schedule.
+        self.timeline = None
         #: Section fusion opt-in (sim engine only; see
         #: :class:`~repro.core.effects.FusedSection`).  Off by default so
         #: real runtimes never see a fused effect; SimRuntime and the
@@ -697,6 +704,8 @@ def _reap_head(view: MPFView, base: int) -> OpGen:
     if head == NIL:
         set_u32(base + _L_FIFO_TAIL, NIL)
     depth_after = r.add_u32(base + _L_NMSGS, -len(doomed))
+    if view.timeline is not None:
+        view.timeline.tap_depth(view.layout.lnvc_slot(base), depth_after)
     # The shared FCFS head can never point *behind* the new physical head:
     # if it pointed at a reaped message, advance it to the first survivor
     # that is not FCFS-taken.
@@ -844,6 +853,8 @@ def open_send(view: MPFView, pid: int, name: str) -> OpGen:
     data = view.encode_name(name)  # validate before touching any lock
     yield Acquire(GLOBAL_LOCK)
     slot = yield from _open_common(view, data)
+    if view.timeline is not None:
+        view.timeline.name_slot(slot, name)
     base = view.layout.lnvc_off(slot)
     lock = view.lnvc_lock(slot)
     yield Acquire(lock)
@@ -887,6 +898,8 @@ def open_receive(view: MPFView, pid: int, name: str, protocol: Protocol) -> OpGe
     data = view.encode_name(name)  # validate before touching any lock
     yield Acquire(GLOBAL_LOCK)
     slot = yield from _open_common(view, data)
+    if view.timeline is not None:
+        view.timeline.name_slot(slot, name)
     base = view.layout.lnvc_off(slot)
     lock = view.lnvc_lock(slot)
     yield Acquire(lock)
@@ -1107,7 +1120,10 @@ def _make_send_section(view, slot, pid, gen, lnvc_id):
         if causal is not None:
             causal.on_pool_bulk(_H_FREE_BLK, nblk)
         r.add_u32(_H_LIVE_MSGS, 1)
-        r.add_u32(_H_LIVE_BLOCKS, nblk)
+        live_blk = r.add_u32(_H_LIVE_BLOCKS, nblk)
+        tl = view.timeline
+        if tl is not None:
+            tl.tap_pool(live_blk)
         live = r.add_u32(_H_LIVE_BYTES, ctx[_SX_LEN])
         if live > r.u64(_H_HWM_LIVE_BYTES):
             r.set_u64(_H_HWM_LIVE_BYTES, live)
@@ -1192,6 +1208,9 @@ def _make_send_section(view, slot, pid, gen, lnvc_id):
             desc = u32(desc + _R_NEXT)
         r.add_u64(_H_TOTAL_SENDS, 1)
         r.add_u64(_H_TOTAL_BYTES_SENT, length)
+        tl = view.timeline
+        if tl is not None:
+            tl.tap_send(slot, length, depth)
         total = steps + rsteps
         spl = link_splices.get(total)
         if spl is None:
@@ -1433,7 +1452,9 @@ def message_send(
         if causal is not None:
             causal.on_pool_bulk(_H_FREE_BLK, nblk)
         r.add_u32(_H_LIVE_MSGS, 1)
-        r.add_u32(_H_LIVE_BLOCKS, nblk)
+        live_blk = r.add_u32(_H_LIVE_BLOCKS, nblk)
+        if view.timeline is not None:
+            view.timeline.tap_pool(live_blk)
         live = r.add_u32(_H_LIVE_BYTES, length)
         if live > r.u64(_H_HWM_LIVE_BYTES):
             r.set_u64(_H_HWM_LIVE_BYTES, live)
@@ -1548,6 +1569,8 @@ def message_send(
     if causal is not None:
         causal.on_send(pid, slot, gen, seqno, length, nblk, depth,
                        t_entry, t_alloc, t_fill)
+    if view.timeline is not None:
+        view.timeline.tap_send(slot, length, depth)
     yield view._rel[slot] if in_table else Release(lock)
     yield view._wake[slot] if in_table else Wake(slot)
     return seqno
@@ -1665,6 +1688,9 @@ def _make_recv_section(view, slot, pid, gen, lnvc_id):
         if head == NIL:
             set_u32(base + _L_FIFO_TAIL, NIL)
         depth_after = r.add_u32(base + _L_NMSGS, -len(doomed))
+        tl = view.timeline
+        if tl is not None:
+            tl.tap_depth(slot, depth_after)
         fcfs = u32(base + _L_FCFS_HEAD)
         if fcfs in doomed:
             set_u32(base + _L_FCFS_HEAD, _first_untaken(view, head))
@@ -1926,6 +1952,8 @@ def message_receive(
     if causal is not None:
         causal.on_recv(pid, slot, gen, claimed_seqno, length, is_fcfs,
                        t_entry, t_claim, t_drain)
+    if view.timeline is not None:
+        view.timeline.tap_recv(slot, length)
     return payload
 
 

@@ -500,6 +500,10 @@ def ring_send(view, pid: int, lnvc_id: int, data: bytes,
     if causal is not None:
         causal.on_send(pid, slot, gen, seqno, length, _lines(length), depth,
                        t_entry, t_claim, t_fill)
+    tl = view.timeline
+    if tl is not None:
+        tl.tap_send(slot, length, depth)
+        tl.tap_ring(slot, depth)
     yield view._wake[slot] if in_table else Wake(slot)
     return seqno
 
@@ -721,6 +725,10 @@ def ring_receive(view, pid: int, lnvc_id: int,
     if causal is not None:
         causal.on_recv(pid, slot, gen, seqno, length, is_fcfs,
                        t_entry, t_claim, t_drain)
+    tl = view.timeline
+    if tl is not None:
+        tl.tap_recv(slot, length)
+        tl.tap_ring(slot, u32(base + _L_NMSGS))
     return payload
 
 

@@ -62,8 +62,11 @@ from .flow import (
     flow_from_segment,
     flow_json,
 )
+from .health import SERVE_TIER_ORDER, Finding, HealthEngine, serve_tier_of
+from .live import LiveTelemetryServer, fetch_metrics, render_top, top_main
 from .prom import parse_exposition, prometheus_exposition
 from .recorder import Histogram, LockStats, Recorder, Span, WorkStats, lock_name
+from .timeline import Timeline, digest_quantile, merge_timelines
 
 __all__ = [
     "EffectLog",
@@ -91,6 +94,17 @@ __all__ = [
     "flow_from_causal",
     "flow_from_segment",
     "flow_json",
+    "Timeline",
+    "digest_quantile",
+    "merge_timelines",
+    "Finding",
+    "HealthEngine",
+    "serve_tier_of",
+    "SERVE_TIER_ORDER",
+    "LiveTelemetryServer",
+    "fetch_metrics",
+    "render_top",
+    "top_main",
     "parse_exposition",
     "prometheus_exposition",
     "format_lock_profile",

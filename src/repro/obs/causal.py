@@ -142,7 +142,7 @@ class CausalTracer:
     __slots__ = ("limit", "clock", "events", "total", "dropped",
                  "pool_allocs", "pool_failures",
                  "max_events", "stride", "e2e", "_pending", "_orphans",
-                 "_grace")
+                 "_grace", "timeline")
 
     def __init__(self, limit: int = DEFAULT_LIMIT, clock=None,
                  max_events: int | None = None) -> None:
@@ -173,6 +173,10 @@ class CausalTracer:
             self._pending = None
             self._orphans = None
             self._grace = None
+        #: Optional :class:`~repro.obs.timeline.Timeline` fed the exact
+        #: e2e deliveries as per-circuit windowed latency digests
+        #: (bounded mode only — the sketch is what pairs send to recv).
+        self.timeline = None
 
     # -- hooks called inline by repro.core.ops ------------------------------
 
@@ -219,6 +223,9 @@ class CausalTracer:
                 s0 = self._grace.pop(key, None)
             if s0 is not None:
                 self.e2e.append(t2 - s0 if t2 > s0 else 0.0)
+                if self.timeline is not None:
+                    self.timeline.tap_e2e(
+                        t2, slot, t2 - s0 if t2 > s0 else 0.0)
             elif len(self._orphans) < 65536:
                 # Cross-process delivery (procs runtime): the send lives
                 # in another child's tracer; matched at merge time.

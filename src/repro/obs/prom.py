@@ -99,6 +99,58 @@ def prometheus_exposition(rec: "Recorder") -> str:
              [({"chan": str(chan)}, n)
               for chan, n in sorted(rec.chan_waits.items())])
 
+    machine = getattr(rec, "machine", None)
+    if machine:
+        for key, help_ in (
+            ("events", "Engine events retired (simulated runs)."),
+            ("heap_pushes", "Events that travelled through the event heap "
+                            "(pushes)."),
+            ("heap_pops", "Events that travelled through the event heap "
+                          "(pops)."),
+            ("epoch_batches", "Quiescent cross-process epoch batches "
+                              "entered."),
+            ("epoch_events", "Events retired inside epoch batches."),
+        ):
+            if key in machine:
+                w.metric(f"mpf_engine_{key}_total", "counter", help_,
+                         [({}, machine[key])])
+
+    timeline = getattr(rec, "timeline", None)
+    if timeline is not None:
+        from .timeline import digest_quantile
+
+        totals = timeline.totals()
+
+        def _tl(key: str) -> dict:
+            series, metric = key.split("|", 1)
+            return {"series": timeline.series_label(series),
+                    "metric": metric}
+
+        w.metric("mpf_timeline_windows", "gauge",
+                 "Timeline windows recorded so far.",
+                 [({}, len(timeline.windows))])
+        w.metric("mpf_timeline_window_seconds", "gauge",
+                 "Timeline window width (run timebase seconds).",
+                 [({}, timeline.width)])
+        w.metric("mpf_timeline_count_total", "counter",
+                 "Whole-run timeline counter totals per series.",
+                 [(_tl(k), n)
+                  for k, n in sorted(totals["counters"].items())])
+        w.metric("mpf_timeline_gauge_avg", "gauge",
+                 "Sample-weighted mean of each timeline gauge.",
+                 [(_tl(k), cell[1] / cell[0])
+                  for k, cell in sorted(totals["gauges"].items())
+                  if cell[0]])
+        w.metric("mpf_timeline_gauge_max", "gauge",
+                 "Peak sampled value of each timeline gauge.",
+                 [(_tl(k), cell[3])
+                  for k, cell in sorted(totals["gauges"].items())])
+        w.metric("mpf_timeline_quantile_seconds", "summary",
+                 "Whole-run latency quantiles from timeline digests.",
+                 [({**_tl(k), "quantile": _fmt(q)}, digest_quantile(dig, q))
+                  for k, dig in sorted(totals["digests"].items())
+                  for q in _QUANTILES])
+
     tracer = rec.causal
     if tracer is not None:
         from .causal import peak_depth, sojourn_stats

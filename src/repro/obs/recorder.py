@@ -189,10 +189,17 @@ class Recorder:
     sampling caps the stored events at ``N`` while an exact sketch keeps
     e2e latency quantiles precise — how million-message serve runs trace
     without unbounded memory (see docs/serving.md).
+    ``timeline=True`` (or a pre-built
+    :class:`~repro.obs.timeline.Timeline`) additionally slices the run
+    into fixed-width time windows of counters, gauges and quantile
+    digests — the time axis the post-hoc aggregates lack;
+    ``timeline_width`` sets the window width in seconds (see
+    docs/telemetry.md).
     """
 
     def __init__(self, limit: int = 100_000, causal=False,
-                 causal_max_events: int | None = None) -> None:
+                 causal_max_events: int | None = None,
+                 timeline=False, timeline_width: float = 0.05) -> None:
         self.limit = limit
         self.clock = "wall"
         self.spans: list[Span] = []
@@ -206,6 +213,9 @@ class Recorder:
         self.kinds: dict[str, Counter] = {}
         self.chan_waits: Counter = Counter()
         self.chan_wait_seconds: float = 0.0
+        #: Simulated-engine counters (events, heap crossings, epoch
+        #: batches) accumulated by SimRuntime after each run.
+        self.machine: dict[str, int] = {}
         self._merge_mutex = threading.Lock()
         if causal:
             from .causal import CausalTracer
@@ -215,6 +225,18 @@ class Recorder:
         else:
             #: Optional :class:`~repro.obs.causal.CausalTracer`.
             self.causal = None
+        if timeline:
+            from .timeline import Timeline
+
+            self.timeline = timeline if isinstance(timeline, Timeline) \
+                else Timeline(width=timeline_width)
+            if self.causal is not None:
+                # The causal e2e sketch feeds the timeline's per-circuit
+                # delivery-latency digests.
+                self.causal.timeline = self.timeline
+        else:
+            #: Optional :class:`~repro.obs.timeline.Timeline`.
+            self.timeline = None
 
     # -- hooks called by runtimes ---------------------------------------------
 
@@ -269,6 +291,8 @@ class Recorder:
         if wait_seconds > ls.max_wait:
             ls.max_wait = wait_seconds
         ls.wait_hist.add(wait_seconds)
+        if self.timeline is not None and counted:
+            self.timeline.tap_lock(time, lock_id, wait_seconds, contended)
         self._span(Span(time, process, "acquire", lock_name(lock_id),
                         wait_seconds, lock_id))
 
@@ -296,6 +320,8 @@ class Recorder:
         self._count(process, "WaitOn")
         self.chan_waits[chan] += 1
         self.chan_wait_seconds += wait_seconds
+        if self.timeline is not None:
+            self.timeline.tap_chan(time, chan, wait_seconds)
         self._span(Span(time, process, "chan-wait", f"chan{chan}",
                         wait_seconds, chan))
 
@@ -355,6 +381,10 @@ class Recorder:
 
             rec.causal = CausalTracer(limit=self.causal.limit,
                                       max_events=self.causal.max_events)
+        if self.timeline is not None:
+            rec.timeline = self.timeline.child()
+            if rec.causal is not None:
+                rec.causal.timeline = rec.timeline
         return rec
 
     def snapshot(self) -> dict:
@@ -369,7 +399,10 @@ class Recorder:
             "kinds": {p: dict(c) for p, c in self.kinds.items()},
             "chan_waits": dict(self.chan_waits),
             "chan_wait_seconds": self.chan_wait_seconds,
+            "machine": dict(self.machine),
             "causal": None if self.causal is None else self.causal.snapshot(),
+            "timeline": None if self.timeline is None
+            else self.timeline.snapshot(),
         }
 
     def merge(self, snap: dict) -> None:
@@ -401,6 +434,17 @@ class Recorder:
                     self.kinds[p] = Counter(c)
             self.chan_waits.update(snap["chan_waits"])
             self.chan_wait_seconds += snap["chan_wait_seconds"]
+            for key, n in snap.get("machine", {}).items():
+                self.machine[key] = self.machine.get(key, 0) + n
+            tl_snap = snap.get("timeline")
+            if tl_snap is not None:
+                if self.timeline is None:
+                    from .timeline import Timeline
+
+                    self.timeline = Timeline(width=tl_snap["width"])
+                    self.timeline.clock_kind = tl_snap.get(
+                        "clock_kind", "wall")
+                self.timeline.merge(tl_snap)
             causal_snap = snap.get("causal")
             if causal_snap is not None:
                 if self.causal is None:

@@ -118,6 +118,18 @@ class Env:
         """Current time: simulated seconds or wall-clock seconds."""
         return self._clock()
 
+    def gauge(self, series: str, value: float) -> None:
+        """Sample an application-level gauge onto the run's timeline.
+
+        ``series`` is a ``"<series>|<metric>"`` key (the serve topology
+        samples ``"tier:frontends|backlog"`` and friends).  A no-op —
+        not even a clock read — unless a timeline is attached, so
+        instrumented programs cost nothing to run unobserved.
+        """
+        tl = self.view.timeline
+        if tl is not None:
+            tl.gauge(self._clock(), series, value)
+
 
 @dataclass
 class RunResult:

@@ -80,6 +80,12 @@ class BlockingMPF:
             # in this process; clients of one segment should share a
             # recorder — the last attached tracer wins otherwise.
             self.view.causal = causal
+        timeline = getattr(recorder, "timeline", None)
+        if timeline is not None:
+            # A timeline-enabled recorder windows this client's traffic
+            # on wall seconds (the timeline self-anchors at its first
+            # tap); same last-attached-wins sharing rule as the tracer.
+            self.view.timeline = timeline
 
     def _drive(self, gen) -> object:
         return drive(gen, self.sync, recorder=self.recorder,

@@ -86,6 +86,15 @@ class ProcRuntime(Runtime):
                     # inside the child snapshot like every other metric.
                     rec.causal.clock = clock
                     view.causal = rec.causal
+                if rec is not None and rec.timeline is not None:
+                    # Same post-fork privacy: the child timeline rides
+                    # home in the snapshot and the parent merges the
+                    # children in rank order — the merge is associative
+                    # and commutative, so rank order is a convention,
+                    # not a correctness requirement.
+                    rec.timeline.clock = clock
+                    rec.timeline.clock_kind = "wall"
+                    view.timeline = rec.timeline
                 try:
                     value = drive(worker(env), sync, recorder=rec,
                                   process=name, clock=clock)

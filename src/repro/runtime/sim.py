@@ -91,16 +91,33 @@ class SimRuntime(Runtime):
             # without ever perturbing the simulated schedule.
             causal.clock = clock
             view.causal = causal
+        timeline = getattr(self.recorder, "timeline", None)
+        if timeline is not None:
+            # Same contract as the causal tracer: plain inline calls, a
+            # read-only clock, zero new effects — timeline-enabled runs
+            # retire the byte-identical schedule (pinned by tests).
+            timeline.clock = clock
+            timeline.clock_kind = "sim"
+            view.timeline = timeline
         for rank, (name, worker) in enumerate(zip(names, workers)):
             env = Env(view, rank, nprocs, clock)
             engine.spawn(name, worker(env))
         elapsed = engine.run(until=self._until)
         self.last_engine = engine
         self.last_view = view
+        report = collect_report(engine, timing)
+        if self.recorder is not None:
+            # Surface the engine's heap-crossing economics (PR 9) on the
+            # recorder so the Prometheus exposition and bench trace can
+            # report them without holding the engine itself.
+            m = self.recorder.machine
+            for k in ("events", "heap_pushes", "heap_pops",
+                      "epoch_batches", "epoch_events"):
+                m[k] = m.get(k, 0) + getattr(report, k)
         return RunResult(
             results=engine.results(),
             elapsed=elapsed,
             kind=self.kind,
             header=snapshot_header(view),
-            report=collect_report(engine, timing),
+            report=report,
         )

@@ -269,6 +269,15 @@ class ThreadRuntime(Runtime):
                 # no-ops after the join.
                 causal.clock = clock
                 view.causal = causal
+            timeline = getattr(self.recorder, "timeline", None)
+            if timeline is not None:
+                # One shared timeline on the shared view: dict updates to
+                # monotonic counters are GIL-atomic (the causal-tracer
+                # compromise), while recorder-hook taps (lock waits) land
+                # on per-thread child timelines merged in name order
+                # after the join.
+                timeline.clock = clock
+                view.timeline = timeline
 
         states = {name: ThreadState() for name in names}
 

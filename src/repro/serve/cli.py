@@ -57,6 +57,61 @@ def _parse_loads(text: str) -> tuple[float, ...]:
     return loads
 
 
+def _sends_per_window(timeline) -> list[tuple[float, float]]:
+    """(seconds-from-first-window, total sends) per non-empty window."""
+    per: dict[int, float] = {}
+    for idx, win in timeline.windows.items():
+        n = sum(v for k, v in win["counters"].items()
+                if k.endswith("|sent"))
+        if n:
+            per[idx] = per.get(idx, 0) + n
+    if not per:
+        return []
+    base = min(per)
+    return [((idx - base) * timeline.width, per[idx])
+            for idx in sorted(per)]
+
+
+def _closed_loop_comparison(open_tl, runtime: str, width: float) -> dict:
+    """Open-loop probe vs closed-loop figure workload, per window.
+
+    Runs Figure 4's closed-loop ``fcfs`` program under the same timeline
+    width and charts both send-rate curves on a shared relative time
+    axis: the closed-loop curve is flat (each message is paced by the
+    previous one completing), while the open-loop probe's curve follows
+    the arrival schedule and dips where the health findings localize
+    saturation — the serving subsystem's tie back to Figures 3–6.
+    """
+    from ..bench.harness import SweepResult
+    from ..bench.plot import ascii_plot
+    from ..bench.workloads import fcfs_throughput
+    from ..obs import Recorder
+
+    closed_rec = Recorder(timeline=True, timeline_width=width)
+    fcfs_throughput(4, 64, messages=256, runtime=runtime,
+                    recorder=closed_rec)
+
+    fig = SweepResult(
+        figure="serve-timeline",
+        title="sends per window: open-loop probe vs closed-loop fcfs",
+        x_label="seconds since first window",
+        y_label="messages sent per window",
+    )
+    out: dict = {}
+    for key, label, tl in (
+        ("open_loop", "open-loop probe", open_tl),
+        ("closed_loop", "closed-loop fcfs", closed_rec.timeline),
+    ):
+        series = fig.new_series(label)
+        rows = _sends_per_window(tl)
+        for x, y in rows:
+            series.add(x, y)
+        out[key] = {"label": label, "width": tl.width,
+                    "sends_per_window": [y for _, y in rows]}
+    out["figure"] = ascii_plot(fig)
+    return out
+
+
 def serve_main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench serve",
@@ -106,6 +161,23 @@ def serve_main(argv: list[str]) -> int:
         "write its metrics in Prometheus text exposition format",
     )
     parser.add_argument(
+        "--timeline", nargs="?", const=True, default=None, metavar="PATH",
+        help="window the traced probe into a timeline and write the "
+        "mpf-serve-timeline/1 JSON document with online health findings "
+        "(default path: next to --json, else serve-timeline.json)",
+    )
+    parser.add_argument(
+        "--timeline-width", type=float, default=0.05, metavar="S",
+        help="timeline window width in run-timebase seconds "
+        "(default 0.05)",
+    )
+    parser.add_argument(
+        "--live", nargs="?", const=0, default=None, type=int, metavar="PORT",
+        help="serve live telemetry on 127.0.0.1:PORT while the traced "
+        "probe runs — GET /metrics (Prometheus), /findings, /timeline "
+        "(0 or no value = ephemeral port)",
+    )
+    parser.add_argument(
         "--flow", metavar="PATH",
         help="with the same traced knee point, write the message flow "
         "graph as Graphviz DOT",
@@ -132,9 +204,30 @@ def serve_main(argv: list[str]) -> int:
              if c["knee_rps"] is not None]
     probe_rate = min(knees) if knees else loads[-1]
     probe_n = max(1, round(probe_rate * min(duration, 5.0)))
-    point, rec = run_point(
-        configs["batched+sharded"], probe_rate, probe_n, seed=args.seed,
-        runtime=args.runtime, causal=True)
+    want_timeline = args.timeline is not None or args.live is not None
+    health = server = None
+    if want_timeline:
+        from ..obs import HealthEngine, LiveTelemetryServer, Recorder, \
+            serve_tier_of
+
+        probe_rec = Recorder(causal=True, causal_max_events=65536,
+                             timeline=True,
+                             timeline_width=args.timeline_width)
+        health = HealthEngine(probe_rec.timeline, tier_of=serve_tier_of)
+        if args.live is not None:
+            server = LiveTelemetryServer(probe_rec, port=args.live,
+                                         health=health)
+            print(f"live telemetry at {server.start()} "
+                  "(/metrics /findings /timeline; up during the probe)")
+    else:
+        probe_rec = None
+    try:
+        point, rec = run_point(
+            configs["batched+sharded"], probe_rate, probe_n, seed=args.seed,
+            runtime=args.runtime, causal=True, recorder=probe_rec)
+    finally:
+        if server is not None:
+            server.stop()
     tracer = rec.causal
     report.findings.append(
         f"traced probe at {probe_rate:g} rps ({args.runtime}): "
@@ -143,6 +236,13 @@ def serve_main(argv: list[str]) -> int:
     from ..obs import detect_stalls
 
     report.findings.extend(detect_stalls(tracer))
+    if health is not None:
+        # Online health attribution over the probe's timeline; the
+        # structured findings cross-link into the SLO report so the SLO
+        # document alone already names the first saturating tier.
+        health.poll()
+        report.findings.extend(f"telemetry: {f.detail}"
+                               for f in health.findings)
     wall = time.perf_counter() - t0
 
     print(report.format_table())
@@ -163,6 +263,29 @@ def serve_main(argv: list[str]) -> int:
         with open(args.prom, "w") as fh:
             fh.write(rec.prometheus())
         print(f"wrote {args.prom}")
+    if args.timeline is not None:
+        from .slo import build_timeline_doc, validate_timeline
+
+        comparison = _closed_loop_comparison(
+            rec.timeline, args.runtime, args.timeline_width)
+        tdoc = build_timeline_doc(args.runtime, args.seed, probe_rate,
+                                  rec.timeline, health.findings,
+                                  comparison)
+        validate_timeline(tdoc)
+        if isinstance(args.timeline, str):
+            tpath = args.timeline
+        elif args.json:
+            tpath = (args.json[:-5] if args.json.endswith(".json")
+                     else args.json) + "-timeline.json"
+        else:
+            tpath = "serve-timeline.json"
+        with open(tpath, "w") as fh:
+            json.dump(tdoc, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {tpath} "
+              f"({len(tdoc['timeline']['windows'])} windows, "
+              f"{len(tdoc['findings'])} finding(s))")
+        print(comparison["figure"])
     if args.flow:
         from ..obs import flow_dot, flow_from_causal
 

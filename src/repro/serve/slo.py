@@ -13,7 +13,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
-__all__ = ["SLOReport", "detect_knee", "validate_slo", "POINT_FIELDS"]
+__all__ = ["SLOReport", "detect_knee", "validate_slo", "POINT_FIELDS",
+           "build_timeline_doc", "validate_timeline"]
 
 #: Required numeric fields of every sweep point.
 POINT_FIELDS = (
@@ -177,3 +178,146 @@ def validate_slo(doc: dict) -> None:
         _fail("$.findings", "missing or not a list")
     if not isinstance(doc.get("total_mpf_messages"), int):
         _fail("$.total_mpf_messages", "missing or not an int")
+
+
+# -- the windowed-telemetry document (mpf-serve-timeline/1) -------------------
+
+
+def build_timeline_doc(runtime: str, seed: int, probe_rps: float,
+                       timeline, findings, comparison: dict | None = None,
+                       ) -> dict:
+    """Assemble the ``mpf-serve-timeline/1`` document for one probe.
+
+    ``timeline`` is a :class:`repro.obs.Timeline`; ``findings`` the
+    :class:`repro.obs.HealthEngine` findings for the same probe;
+    ``comparison`` the optional closed-vs-open-loop section the serve
+    CLI builds.  The result round-trips through JSON unchanged and
+    passes :func:`validate_timeline`.
+    """
+    return {
+        "schema": "mpf-serve-timeline/1",
+        "runtime": runtime,
+        "seed": seed,
+        "probe_rps": probe_rps,
+        "timeline": timeline.to_doc(),
+        "findings": [f.to_dict() for f in findings],
+        "comparison": comparison,
+    }
+
+
+def _tfail(path: str, msg: str) -> None:
+    raise ValueError(f"timeline document invalid at {path}: {msg}")
+
+
+def _check_num(doc: dict, path: str, key: str) -> None:
+    v = doc.get(key)
+    if not isinstance(v, (int, float)) or isinstance(v, bool):
+        _tfail(f"{path}.{key}", "missing or not a number")
+
+
+def validate_timeline(doc: dict) -> None:
+    """Strict structural check of an ``mpf-serve-timeline/1`` document.
+
+    The ``telemetry-smoke`` CI gate runs this on the document a quick
+    sweep emits; like :func:`validate_slo` it makes the format a
+    contract.  Raises :class:`ValueError` at the first violation.
+    """
+    if not isinstance(doc, dict):
+        _tfail("$", "not an object")
+    if doc.get("schema") != "mpf-serve-timeline/1":
+        _tfail("$.schema", f"unknown schema {doc.get('schema')!r}")
+    if not isinstance(doc.get("runtime"), str):
+        _tfail("$.runtime", "missing or not a string")
+    if not isinstance(doc.get("seed"), int):
+        _tfail("$.seed", "missing or not an int")
+    _check_num(doc, "$", "probe_rps")
+    tl = doc.get("timeline")
+    if not isinstance(tl, dict):
+        _tfail("$.timeline", "missing or not an object")
+    width = tl.get("width")
+    if not isinstance(width, (int, float)) or width <= 0:
+        _tfail("$.timeline.width", "not a positive number")
+    if tl.get("clock") not in ("sim", "wall"):
+        _tfail("$.timeline.clock", f"not 'sim'/'wall': {tl.get('clock')!r}")
+    names = tl.get("names")
+    if not isinstance(names, dict) or not all(
+            isinstance(k, str) and isinstance(v, str)
+            for k, v in names.items()):
+        _tfail("$.timeline.names", "not an object of strings")
+    windows = tl.get("windows")
+    if not isinstance(windows, list) or not windows:
+        _tfail("$.timeline.windows", "missing or empty")
+    last = None
+    for i, win in enumerate(windows):
+        wpath = f"$.timeline.windows[{i}]"
+        if not isinstance(win, dict):
+            _tfail(wpath, "not an object")
+        if not isinstance(win.get("index"), int):
+            _tfail(f"{wpath}.index", "missing or not an int")
+        _check_num(win, wpath, "start")
+        if last is not None and win["index"] <= last:
+            _tfail(f"{wpath}.index", "windows not strictly increasing")
+        last = win["index"]
+        counters = win.get("counters")
+        if not isinstance(counters, dict) or not all(
+                isinstance(k, str)
+                and isinstance(v, (int, float)) and not isinstance(v, bool)
+                for k, v in counters.items()):
+            _tfail(f"{wpath}.counters", "not an object of numbers")
+        gauges = win.get("gauges")
+        if not isinstance(gauges, dict):
+            _tfail(f"{wpath}.gauges", "missing or not an object")
+        for k, cell in gauges.items():
+            if not isinstance(cell, dict) or set(cell) != {
+                    "n", "sum", "min", "max"} or not all(
+                    isinstance(cell[f], (int, float))
+                    and not isinstance(cell[f], bool) for f in cell):
+                _tfail(f"{wpath}.gauges[{k!r}]",
+                       "not {n, sum, min, max} numbers")
+        digests = win.get("digests")
+        if not isinstance(digests, dict):
+            _tfail(f"{wpath}.digests", "missing or not an object")
+        for k, dig in digests.items():
+            if not isinstance(dig, dict) or not all(
+                    isinstance(b, str) and b.lstrip("-").isdigit()
+                    and isinstance(n, int) and n >= 0
+                    for b, n in dig.items()):
+                _tfail(f"{wpath}.digests[{k!r}]",
+                       "not an object of integer bucket counts")
+    findings = doc.get("findings")
+    if not isinstance(findings, list):
+        _tfail("$.findings", "missing or not a list")
+    for i, f in enumerate(findings):
+        fpath = f"$.findings[{i}]"
+        if not isinstance(f, dict):
+            _tfail(fpath, "not an object")
+        for key in ("kind", "severity", "series", "detail"):
+            if not isinstance(f.get(key), str):
+                _tfail(f"{fpath}.{key}", "missing or not a string")
+        for key in ("onset_window", "onset_time"):
+            v = f.get(key)
+            if v is not None and (not isinstance(v, (int, float))
+                                  or isinstance(v, bool)):
+                _tfail(f"{fpath}.{key}", "not a number or null")
+        if not isinstance(f.get("data"), dict):
+            _tfail(f"{fpath}.data", "missing or not an object")
+    comparison = doc.get("comparison")
+    if comparison is not None:
+        if not isinstance(comparison, dict):
+            _tfail("$.comparison", "not an object or null")
+        for side in ("open_loop", "closed_loop"):
+            sec = comparison.get(side)
+            spath = f"$.comparison.{side}"
+            if not isinstance(sec, dict):
+                _tfail(spath, "missing or not an object")
+            if not isinstance(sec.get("label"), str):
+                _tfail(f"{spath}.label", "missing or not a string")
+            _check_num(sec, spath, "width")
+            sends = sec.get("sends_per_window")
+            if not isinstance(sends, list) or not all(
+                    isinstance(v, (int, float)) and not isinstance(v, bool)
+                    for v in sends):
+                _tfail(f"{spath}.sends_per_window", "not a list of numbers")
+        fig = comparison.get("figure")
+        if fig is not None and not isinstance(fig, str):
+            _tfail("$.comparison.figure", "not a string or null")

@@ -58,13 +58,22 @@ def run_point(
     machine: MachineConfig | None = None,
     causal: bool = False,
     causal_max_events: int | None = 65536,
+    timeline: bool = False,
+    timeline_width: float = 0.05,
+    recorder: Recorder | None = None,
 ) -> tuple[dict, Recorder | None]:
     """Run one offered-load point; returns ``(slo_point, recorder)``.
 
     ``schedules`` overrides the generated Poisson arrivals (trace-driven
     serving: pass one absolute-time schedule per client).  ``causal``
     attaches a bounded causal tracer, whose e2e delivery sketch and
-    stall findings feed the observability exports.
+    stall findings feed the observability exports.  ``timeline``
+    additionally windows the point's traffic into ``timeline_width``-
+    second buckets (:class:`repro.obs.Timeline`) — the substrate of the
+    ``mpf-serve-timeline/1`` document and the online health findings.
+    ``recorder`` supplies a pre-built recorder instead (the live scrape
+    endpoint needs it *before* the run starts); it overrides the
+    ``causal``/``timeline`` construction flags.
     """
     if schedules is None:
         schedules, digest = client_schedules(
@@ -76,8 +85,10 @@ def run_point(
     if machine is None:
         machine = serve_machine(shape)
 
-    rec = Recorder(causal=True, causal_max_events=causal_max_events) \
-        if causal else None
+    rec = recorder
+    if rec is None and (causal or timeline):
+        rec = Recorder(causal=causal, causal_max_events=causal_max_events,
+                       timeline=timeline, timeline_width=timeline_width)
     workers = build_workers(shape, schedules, runtime=runtime,
                             machine=machine)
     if runtime == "sim":

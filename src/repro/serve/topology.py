@@ -353,6 +353,7 @@ def build_workers(
                     backlog.popleft()
                     rr += 1
                     forwarded += 1
+                env.gauge("tier:frontends|backlog", len(backlog))
             while backlog:  # input drained: flush with backoff
                 try:
                     yield from env.message_send(outs[rr % W], backlog[0])
@@ -406,6 +407,7 @@ def build_workers(
                         backlog.popleft()
                     except OutOfMessageMemoryError:
                         break
+                env.gauge("tier:workers|backlog", len(backlog))
             while backlog:  # drained input: flush with backoff
                 try:
                     yield from env.message_send(out, backlog[0])

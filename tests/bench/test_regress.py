@@ -1,0 +1,131 @@
+"""The ``python -m repro.bench regress`` wall-clock trajectory gate.
+
+Pins the envelope normalization (the BENCH_*.json schema drifted across
+PRs), the trajectory ordering, the two-threshold flag logic (relative
+AND absolute), and the CLI exit codes CI keys on.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.regress import (
+    compare_bench,
+    load_bench,
+    order_bench,
+    regress_main,
+)
+
+
+def write(path, doc):
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+def test_load_bench_top_level_figures_envelope(tmp_path):
+    p = write(tmp_path / "BENCH_seed.json",
+              {"figures": {"fig3": 1.5, "fig4": 2.5}})
+    doc = load_bench(p)
+    assert doc["label"] == "seed"
+    assert doc["figures"] == {"fig3": 1.5, "fig4": 2.5}
+    assert doc["total"] == 4.0  # derived: no archived total
+
+
+def test_load_bench_serial_envelope_with_rollup(tmp_path):
+    # The later envelope: figures under $.serial and a sum_of_min_walls
+    # roll-up folded INTO the figure dict (it must not become a row).
+    p = write(tmp_path / "BENCH_pr9.json", {
+        "serial": {"repeat": 3,
+                   "figures": {"fig3": 1.0, "sum_of_min_walls": 9.9}},
+    })
+    doc = load_bench(p)
+    assert doc["label"] == "pr9"
+    assert doc["figures"] == {"fig3": 1.0}
+    assert doc["total"] == 9.9  # the roll-up wins over the derived sum
+
+
+def test_load_bench_rejects_figureless_doc(tmp_path):
+    p = write(tmp_path / "BENCH_pr1.json", {"serial": {}})
+    with pytest.raises(ValueError, match="no per-figure walls"):
+        load_bench(p)
+
+
+def test_order_bench_seed_first_then_numeric():
+    paths = ["x/BENCH_pr10.json", "x/BENCH_seed.json", "x/BENCH_pr2.json",
+             "x/BENCH_pr9.json", "x/not-a-bench.json"]
+    assert order_bench(paths) == [
+        "x/BENCH_seed.json", "x/BENCH_pr2.json", "x/BENCH_pr9.json",
+        "x/BENCH_pr10.json",
+    ]
+
+
+def bench(label, **figures):
+    return {"label": label, "path": label, "figures": figures,
+            "total": sum(figures.values())}
+
+
+def test_compare_bench_needs_both_thresholds():
+    prior = bench("a", big=10.0, tiny=0.01, gone=1.0)
+    newest = bench("b", big=16.0, tiny=0.08, new=1.0)
+    rows, regressed = compare_bench(prior, newest, tolerance=0.5,
+                                    min_delta=0.2)
+    verdicts = {r["figure"]: r["verdict"] for r in rows}
+    # big: +60% and +6s -> both thresholds crossed.
+    assert verdicts["big"] == "REGRESSED" and regressed == ["big"]
+    # tiny: 8x slower relatively but only +0.07s -> absolute floor holds.
+    assert verdicts["tiny"] == "ok"
+    assert verdicts["gone"] == "removed"
+    assert verdicts["new"] == "added"
+
+
+def test_compare_bench_within_tolerance_is_weather():
+    prior, newest = bench("a", fig=10.0), bench("b", fig=11.0)
+    rows, regressed = compare_bench(prior, newest, tolerance=0.5,
+                                    min_delta=0.2)
+    assert regressed == []
+    assert rows[0]["ratio"] == pytest.approx(1.1)
+
+
+def trajectory(tmp_path, newest_figures):
+    write(tmp_path / "BENCH_seed.json", {"figures": {"fig3": 2.0}})
+    write(tmp_path / "BENCH_pr1.json",
+          {"serial": {"figures": {"fig3": 2.1}}})
+    write(tmp_path / "BENCH_pr2.json",
+          {"serial": {"figures": newest_figures}})
+    return str(tmp_path)
+
+
+def test_regress_main_passes_and_prints_drift_caveat(tmp_path, capsys):
+    status = regress_main(["--dir", trajectory(tmp_path, {"fig3": 2.2})])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "pr2 vs pr1" in out  # newest against predecessor, not seed
+    assert "~10%" in out  # the host-drift caveat ships with the verdict
+    assert "no figure regressed" in out
+
+
+def test_regress_main_fails_on_regression(tmp_path, capsys):
+    status = regress_main(["--dir", trajectory(tmp_path, {"fig3": 4.0})])
+    out = capsys.readouterr().out
+    assert status == 1
+    assert "REGRESSED" in out and "REGRESSION: fig3" in out
+
+
+def test_regress_main_tolerance_flags(tmp_path):
+    d = trajectory(tmp_path, {"fig3": 2.5})
+    assert regress_main(["--dir", d]) == 0  # +19%: inside default 50%
+    assert regress_main(["--dir", d, "--tolerance", "0.1"]) == 1
+
+
+def test_regress_main_with_too_few_snapshots(tmp_path, capsys):
+    write(tmp_path / "BENCH_seed.json", {"figures": {"fig3": 1.0}})
+    assert regress_main(["--dir", str(tmp_path)]) == 0
+    assert "nothing to compare" in capsys.readouterr().out
+
+
+def test_bench_cli_routes_regress_subcommand(tmp_path, capsys):
+    from repro.bench.__main__ import main
+
+    trajectory(tmp_path, {"fig3": 2.2})
+    assert main(["regress", "--dir", str(tmp_path)]) == 0
+    assert "bench regress" in capsys.readouterr().out
